@@ -1,0 +1,8 @@
+#!/bin/sh
+/tmp/duploexp -exp latency -ctas 48 -sms 4 > /root/repo/exp_latency.txt 2>&1
+/tmp/duploexp -exp smem -ctas 48 -sms 4 > /root/repo/exp_smem.txt 2>&1
+/tmp/duploexp -exp cache -ctas 48 -sms 4 > /root/repo/exp_cache.txt 2>&1
+/tmp/duploexp -exp evict -ctas 48 -sms 4 > /root/repo/exp_evict.txt 2>&1
+/tmp/duploexp -exp index -ctas 48 -sms 4 > /root/repo/exp_index.txt 2>&1
+/tmp/duploexp -exp limits > /root/repo/exp_limits.txt 2>&1
+echo ABLATIONS_DONE

@@ -1,0 +1,99 @@
+// Command duploexp regenerates the paper's tables and figures (the
+// per-experiment index is in DESIGN.md §3).
+//
+// Usage:
+//
+//	duploexp -exp all                 # everything
+//	duploexp -exp fig9 -ctas 192      # one experiment, more CTAs
+//	duploexp -exp fig14 -full         # uncapped grids (slow)
+//	duploexp -exp table2
+//
+// Experiments: table1 table2 table3 fig2 fig3 fig9 fig10 fig11 fig12 fig13
+// fig14 energy latency smem cache evict index limits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"duplo/internal/experiments"
+	"duplo/internal/report"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (see package doc) or 'all'")
+		ctas    = flag.Int("ctas", 96, "max CTAs simulated per kernel")
+		simSMs  = flag.Int("sms", 4, "number of SMs simulated")
+		full    = flag.Bool("full", false, "simulate full grids (removes the CTA cap; slow)")
+		verbose = flag.Bool("v", false, "print progress")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{MaxCTAs: *ctas, SimSMs: *simSMs, Verbose: *verbose}
+	if *full {
+		opts.MaxCTAs = 0
+	}
+	if *verbose {
+		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
+	}
+	r := experiments.NewRunner(opts)
+
+	type entry struct {
+		id  string
+		run func() (*report.Table, error)
+	}
+	wrap := func(t *report.Table) func() (*report.Table, error) {
+		return func() (*report.Table, error) { return t, nil }
+	}
+	all := []entry{
+		{"table1", wrap(experiments.Table1())},
+		{"table3", wrap(experiments.Table3())},
+		{"table2", experiments.Table2},
+		{"fig2", wrap(experiments.Fig2())},
+		{"limits", wrap(experiments.Limits())},
+		{"fig3", wrap(experiments.Fig3())},
+		{"fig9", r.Fig9},
+		{"fig10", r.Fig10},
+		{"fig11", r.Fig11},
+		{"fig12", r.Fig12},
+		{"fig13", r.Fig13},
+		{"fig14", r.Fig14},
+		{"energy", r.EnergyArea},
+		{"latency", r.AblationLatency},
+		{"smem", r.AblationSharedMem},
+		{"cache", r.AblationCacheScaling},
+		{"evict", r.AblationEviction},
+		{"index", r.AblationIndexing},
+	}
+
+	found := false
+	for _, e := range all {
+		if *exp != "all" && *exp != e.id {
+			continue
+		}
+		found = true
+		t0 := time.Now()
+		tbl, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "duploexp: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		if *csv {
+			tbl.CSV(os.Stdout)
+		} else {
+			tbl.Render(os.Stdout)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "[%s took %v]\n", e.id, time.Since(t0).Round(time.Millisecond))
+		}
+		fmt.Println()
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "duploexp: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,99 @@
+// Command duplosim simulates one convolutional layer on the modeled GPU,
+// baseline and (optionally) with the Duplo detection unit, and prints the
+// statistics block.
+//
+// Usage:
+//
+//	duplosim -net ResNet -layer C2                 # baseline vs Duplo
+//	duplosim -net YOLO -layer C4 -lhb 2048 -ways 8
+//	duplosim -net GAN -layer TC1 -oracle -ctas 192
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	duplo "duplo/internal/core"
+	"duplo/internal/sim"
+	"duplo/internal/workload"
+)
+
+func main() {
+	var (
+		net    = flag.String("net", "ResNet", "network (ResNet, GAN, YOLO)")
+		layer  = flag.String("layer", "C2", "layer name from Table I (C1.., TC1..)")
+		lhb    = flag.Int("lhb", 1024, "LHB entries")
+		ways   = flag.Int("ways", 1, "LHB associativity")
+		oracle = flag.Bool("oracle", false, "infinite LHB")
+		ctas   = flag.Int("ctas", 96, "max CTAs simulated (0 = full grid)")
+		simSMs = flag.Int("sms", 4, "SMs simulated")
+		batch  = flag.Int("batch", 0, "override batch size (default Table I's 8)")
+	)
+	flag.Parse()
+
+	l, err := workload.Find(*net, *layer)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "duplosim:", err)
+		os.Exit(1)
+	}
+	if *batch > 0 {
+		l.Params = l.Params.WithBatch(*batch)
+	}
+	k, err := sim.NewConvKernel(l.FullName(), l.GemmParams())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "duplosim:", err)
+		os.Exit(1)
+	}
+	cfg := sim.TitanVConfig()
+	cfg.MaxCTAs = *ctas
+	cfg.SimSMs = *simSMs
+
+	fmt.Printf("%s: %v\n", l.FullName(), l.GemmParams())
+	fmt.Printf("GEMM %dx%dx%d (padded %dx%dx%d), %d CTAs total, simulating %d on %d SMs\n\n",
+		k.M, k.N, k.K, k.MPad, k.NPad, k.KPad, k.TotalCTAs(), min(*ctas, k.TotalCTAs()), cfg.SimSMs)
+
+	base, err := sim.Run(cfg, k)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "duplosim:", err)
+		os.Exit(1)
+	}
+	printStats("baseline", base)
+
+	cfg.Duplo = true
+	cfg.DetectCfg.LHB = duplo.LHBConfig{Entries: *lhb, Ways: *ways, Oracle: *oracle}
+	dup, err := sim.Run(cfg, k)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "duplosim:", err)
+		os.Exit(1)
+	}
+	printStats("duplo", dup)
+
+	fmt.Printf("performance improvement: %+.1f%%\n", 100*sim.Speedup(base, dup))
+	fmt.Printf("DRAM read traffic:       %+.1f%%\n",
+		100*(float64(dup.DRAMLines)/float64(base.DRAMLines)-1))
+	fmt.Printf("LHB hit rate:            %.1f%% (%d lookups, %d hits)\n",
+		100*dup.LHBHitRate(), dup.LHB.Lookups, dup.LHB.Hits)
+}
+
+func printStats(name string, r sim.Result) {
+	fmt.Printf("[%s]\n", name)
+	fmt.Printf("  cycles            %12d\n", r.Cycles)
+	fmt.Printf("  instructions      %12d (loads %d, MMAs %d, stores %d)\n",
+		r.Instructions, r.TensorLoads, r.MMAs, r.Stores)
+	fmt.Printf("  loads eliminated  %12d\n", r.LoadsEliminted)
+	fmt.Printf("  L1 accesses/hits  %12d / %d\n", r.L1Accesses, r.L1Hits)
+	fmt.Printf("  L2 accesses/hits  %12d / %d\n", r.L2Accesses, r.L2Hits)
+	fmt.Printf("  DRAM lines        %12d\n", r.DRAMLines)
+	fmt.Printf("  LDST stall cycles %12d\n", r.LDSTStallCycles)
+	b := r.ServiceBreakdown()
+	fmt.Printf("  served by         LHB %.1f%%  L1 %.1f%%  L2 %.1f%%  DRAM %.1f%%\n\n",
+		100*b[sim.ServiceLHB], 100*b[sim.ServiceL1], 100*b[sim.ServiceL2], 100*b[sim.ServiceDRAM])
+}
+
+func min(a, b int) int {
+	if a == 0 || b < a {
+		return b
+	}
+	return a
+}

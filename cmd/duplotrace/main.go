@@ -1,0 +1,78 @@
+// Command duplotrace dumps the warp-level instruction stream of the
+// tensor-core GEMM kernel for one layer, annotated with the Duplo ID
+// generator's output per row-vector load — a debugging/teaching view of
+// exactly what the detection unit sees (§IV-C's Table II, at scale).
+//
+//	duplotrace -net ResNet -layer C2 -warp 0 -n 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	duplo "duplo/internal/core"
+	"duplo/internal/sim"
+	"duplo/internal/workload"
+)
+
+func main() {
+	var (
+		net   = flag.String("net", "ResNet", "network")
+		layer = flag.String("layer", "C2", "layer")
+		cta   = flag.Int("cta", 0, "CTA index")
+		warp  = flag.Int("warp", 0, "warp within the CTA (0-7)")
+		n     = flag.Int("n", 40, "instructions to dump")
+	)
+	flag.Parse()
+
+	l, err := workload.Find(*net, *layer)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "duplotrace:", err)
+		os.Exit(1)
+	}
+	k, err := sim.NewConvKernel(l.FullName(), l.GemmParams())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "duplotrace:", err)
+		os.Exit(1)
+	}
+	ci, err := duplo.NewConvInfo(*k.Conv, k.Layout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "duplotrace:", err)
+		os.Exit(1)
+	}
+	gen := duplo.NewIDGen(ci)
+
+	fmt.Printf("%s: GEMM %dx%dx%d, CTA %d/%d, warp %d\n\n",
+		l.FullName(), k.M, k.N, k.K, *cta, k.TotalCTAs(), *warp)
+	insts, err := sim.TraceWarp(k, *cta, *warp, *n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "duplotrace:", err)
+		os.Exit(1)
+	}
+	for i, in := range insts {
+		switch in.Op {
+		case sim.OpMMA:
+			fmt.Printf("%4d  %-13s  d=%%f%-2d a=%%f%-2d b=%%f%d\n", i, in.Op, in.Dst, in.SrcA, in.SrcB)
+		case sim.OpStoreD:
+			fmt.Printf("%4d  %-13s  src=%%f%-2d addr=%#x\n", i, in.Op, in.SrcA, in.Addr)
+		default:
+			fmt.Printf("%4d  %-13s  d=%%f%-2d addr=%#x", i, in.Op, in.Dst, in.Addr)
+			if in.Op == sim.OpLoadA {
+				// Show the per-row IDs the detection unit generates.
+				fmt.Printf("  rows[")
+				for r := 0; r < 4; r++ { // first four rows for brevity
+					id, st := gen.IDs(in.Addr + uint64(r)*uint64(in.RowPitch))
+					if st == duplo.StatusOK {
+						fmt.Printf(" b%d:e%d", id.Batch, id.Elem)
+					} else {
+						fmt.Printf(" -")
+					}
+				}
+				fmt.Printf(" ...]")
+			}
+			fmt.Println()
+			continue
+		}
+	}
+}

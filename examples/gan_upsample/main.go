@@ -1,0 +1,80 @@
+// GAN generator walk-through: the transposed-convolution ("TC") layers of
+// Table I upsample a 4x4 latent feature map to a 64x64 image. This example
+// shows the §II-A lowering — zero-dilating the input and convolving — and
+// the duplication structure Duplo exploits on each stage, including a
+// functional correctness check of the lowering on the first stage.
+//
+//	go run ./examples/gan_upsample
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"duplo/internal/conv"
+	"duplo/internal/lowering"
+	"duplo/internal/report"
+	"duplo/internal/sim"
+	"duplo/internal/tensor"
+	"duplo/internal/workload"
+)
+
+func main() {
+	// Functional: transposed conv == direct conv on the dilated input.
+	small := conv.Params{N: 1, H: 4, W: 4, C: 8, K: 4, FH: 5, FW: 5, Pad: 2, Stride: 2}
+	in := tensor.New(small.N, small.H, small.W, small.C)
+	in.FillRandom(3, 1)
+	f := tensor.New(small.K, small.FH, small.FW, small.C)
+	f.FillRandom(4, 0.5)
+	want, err := conv.Transposed(small, in, f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dp, dil, flip, err := conv.ToDirect(small, in, f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, err := lowering.GemmConv(dp, dil, flip)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("transposed-conv via zero-dilated GEMM: rel err %.2e (output %s)\n\n",
+		got.RelErr(want), got.ShapeString())
+
+	// Timing: each generator stage under the simulator.
+	cfg := sim.TitanVConfig()
+	cfg.SimSMs = 2
+	cfg.MaxCTAs = 32
+
+	t := report.NewTable("GAN generator stages (Table I TC1-TC4), baseline vs Duplo",
+		"Stage", "Spatial", "Lowered GEMM", "Duplication", "Improvement", "Hit rate", "DRAM delta")
+	for _, l := range workload.GAN[:4] {
+		p := l.GemmParams()
+		k, err := sim.NewConvKernel(l.FullName(), p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := sim.Run(cfg, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dcfg := cfg
+		dcfg.Duplo = true
+		dup, err := sim.Run(dcfg, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRowCells([]string{
+			l.Name,
+			fmt.Sprintf("%dx%d -> %dx%d", l.Params.H, l.Params.W, p.OutH(), p.OutW()),
+			fmt.Sprintf("%dx%dx%d", p.GemmM(), p.GemmN(), p.GemmK()),
+			fmt.Sprintf("%.1fx", p.DuplicationFactor()),
+			report.Pct(sim.Speedup(base, dup)),
+			report.PctU(dup.LHBHitRate()),
+			report.Pct(float64(dup.DRAMLines)/float64(base.DRAMLines) - 1),
+		})
+	}
+	fmt.Print(t)
+	fmt.Println("\nNote: zero-dilation makes the workspace sparse AND duplicated —")
+	fmt.Println("upsampling layers are exactly where lowering is most memory-wasteful.")
+}

@@ -1,0 +1,66 @@
+// ResNet inference walk-through: run every ResNet layer of Table I through
+// the simulator, baseline vs Duplo, and print the per-layer and network
+// totals (the data behind the ResNet group of Fig. 9 and Fig. 14).
+//
+//	go run ./examples/resnet [-ctas N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"duplo/internal/report"
+	"duplo/internal/sim"
+	"duplo/internal/workload"
+)
+
+func main() {
+	ctas := flag.Int("ctas", 48, "max CTAs simulated per layer")
+	flag.Parse()
+
+	cfg := sim.TitanVConfig()
+	cfg.MaxCTAs = *ctas
+	cfg.SimSMs = 2
+
+	t := report.NewTable("ResNet inference, baseline vs Duplo (1024-entry LHB)",
+		"Layer", "GEMM MxNxK", "Duplication", "Base cycles", "Duplo cycles", "Improvement", "Hit rate")
+
+	var baseTotal, dupTotal float64
+	for _, l := range workload.ResNet {
+		p := l.GemmParams()
+		k, err := sim.NewConvKernel(l.FullName(), p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := sim.Run(cfg, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dcfg := cfg
+		dcfg.Duplo = true
+		dup, err := sim.Run(dcfg, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Scale the simulated prefix to the full grid for network totals.
+		scale := float64(base.TotalCTAs) / float64(base.SimulatedCTAs)
+		baseTotal += float64(base.Cycles) * scale
+		dupTotal += float64(dup.Cycles) * scale
+
+		t.AddRowCells([]string{
+			l.Name,
+			fmt.Sprintf("%dx%dx%d", p.GemmM(), p.GemmN(), p.GemmK()),
+			fmt.Sprintf("%.1fx", p.DuplicationFactor()),
+			fmt.Sprint(base.Cycles),
+			fmt.Sprint(dup.Cycles),
+			report.Pct(sim.Speedup(base, dup)),
+			report.PctU(dup.LHBHitRate()),
+		})
+	}
+	fmt.Print(t)
+	fmt.Printf("\nnetwork execution time (scaled to full grids): baseline %.0f, duplo %.0f cycles\n",
+		baseTotal, dupTotal)
+	fmt.Printf("network-level reduction: %.1f%% (paper Fig. 14: ResNet inference ~-20%%)\n",
+		100*(1-dupTotal/baseTotal))
+}

@@ -1,0 +1,3 @@
+module duplo
+
+go 1.22

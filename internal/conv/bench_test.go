@@ -1,0 +1,50 @@
+package conv
+
+import (
+	"testing"
+
+	"duplo/internal/tensor"
+)
+
+var benchParams = Params{N: 1, H: 32, W: 32, C: 16, K: 16, FH: 3, FW: 3, Pad: 1, Stride: 1}
+
+func benchTensors(b *testing.B) (*tensor.Tensor, *tensor.Tensor) {
+	b.Helper()
+	in := tensor.New(benchParams.N, benchParams.H, benchParams.W, benchParams.C)
+	in.FillRandom(1, 1)
+	f := tensor.New(benchParams.K, benchParams.FH, benchParams.FW, benchParams.C)
+	f.FillRandom(2, 0.5)
+	return in, f
+}
+
+func BenchmarkDirect(b *testing.B) {
+	in, f := benchTensors(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Direct(benchParams, in, f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransposed(b *testing.B) {
+	p := Params{N: 1, H: 16, W: 16, C: 16, K: 8, FH: 5, FW: 5, Pad: 2, Stride: 2}
+	in := tensor.New(p.N, p.H, p.W, p.C)
+	in.FillRandom(3, 1)
+	f := tensor.New(p.K, p.FH, p.FW, p.C)
+	f.FillRandom(4, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Transposed(p, in, f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUniqueWorkspaceElems(b *testing.B) {
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += benchParams.UniqueWorkspaceElems()
+	}
+	_ = sink
+}

@@ -1,0 +1,21 @@
+// Package duplo implements the paper's primary contribution: the Duplo
+// detection unit that identifies and eliminates redundant tensor-core-load
+// instructions fetching duplicates of workspace data (§III and §IV).
+//
+// The unit is composed of:
+//
+//   - ConvInfo — the 32-byte compile-time convolution information loaded at
+//     kernel launch (§IV-A);
+//   - IDGen — the ID generator translating workspace memory addresses to
+//     (batch ID, element ID) pairs such that two workspace entries hold the
+//     same value exactly when their ID pairs are equal (§III-B/C);
+//   - LHB — the load history buffer recording which physical warp registers
+//     hold each recently loaded unique datum (§IV-B);
+//   - RenameTable — warp-granular register renaming (adopted from Kim et
+//     al. [15]) that converts an LHB hit into a register rename;
+//   - DetectionUnit — the glue the LDST unit consults on every
+//     tensor-core-load.
+//
+// One DetectionUnit instance is attached to each SM's LDST unit, mirroring
+// Fig. 7/8.
+package duplo

@@ -1,0 +1,72 @@
+package duplo
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// divider performs division by a compile-time-known constant without a
+// hardware divider, the way the ID generator's logic is built (§IV-A):
+// power-of-two divisors become shifts, and small odd divisors (3, 5, 7, ...)
+// use the multiply-by-reciprocal ("magic number") scheme of Granlund &
+// Montgomery, which the paper cites via Jones [10]. Div and Mod therefore
+// never execute an integer divide, which is the point the hardware argument
+// rests on.
+type divider struct {
+	d     uint32
+	shift uint   // pow-2: log2(d); magic: post-shift amount (in (32, 64])
+	magic uint64 // 0 selects the pow-2 path
+}
+
+// newDivider prepares a divider for d >= 1, valid for all 32-bit numerators.
+func newDivider(d uint32) divider {
+	if d == 0 {
+		panic("duplo: divider by zero")
+	}
+	if d&(d-1) == 0 {
+		return divider{d: d, shift: uint(bits.TrailingZeros32(d))}
+	}
+	// Round-up magic: m = ceil(2^(32+L) / d) with L = ceil(log2 d).
+	// For any n < 2^32: floor(n*m / 2^(32+L)) == n/d (Granlund–Montgomery
+	// round-up variant; exhaustively property-tested in fastdiv_test.go).
+	l := uint(bits.Len32(d - 1)) // ceil(log2 d)
+	m := (uint64(1)<<(32+l) + uint64(d) - 1) / uint64(d)
+	return divider{d: d, shift: 32 + l, magic: m}
+}
+
+// Div returns n / d.
+func (v divider) Div(n uint32) uint32 {
+	if v.magic == 0 {
+		return n >> v.shift
+	}
+	// (n * magic) >> shift, with shift in (32, 64]. The product fits in
+	// hi:lo of a 64x64 multiply because n < 2^32 and magic < 2^34.
+	hi, lo := bits.Mul64(uint64(n), v.magic)
+	if v.shift >= 64 {
+		return uint32(hi >> (v.shift - 64))
+	}
+	return uint32(hi<<(64-v.shift) | lo>>v.shift)
+}
+
+// DivMod returns (n/d, n%d).
+func (v divider) DivMod(n uint32) (q, r uint32) {
+	q = v.Div(n)
+	return q, n - q*v.d
+}
+
+// Mod returns n % d.
+func (v divider) Mod(n uint32) uint32 {
+	_, r := v.DivMod(n)
+	return r
+}
+
+// IsPow2 reports whether the divisor is a power of two (pure shift/mask in
+// hardware).
+func (v divider) IsPow2() bool { return v.magic == 0 }
+
+func (v divider) String() string {
+	if v.magic == 0 {
+		return fmt.Sprintf("div%d(shift %d)", v.d, v.shift)
+	}
+	return fmt.Sprintf("div%d(magic %#x >> %d)", v.d, v.magic, v.shift)
+}

@@ -1,0 +1,80 @@
+package duplo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDividerExhaustiveSmall(t *testing.T) {
+	for _, d := range []uint32{1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 25, 49, 147, 160, 288, 4608} {
+		v := newDivider(d)
+		for n := uint32(0); n < 70000; n++ {
+			q, r := v.DivMod(n)
+			if q != n/d || r != n%d {
+				t.Fatalf("d=%d n=%d: got (%d,%d), want (%d,%d)", d, n, q, r, n/d, n%d)
+			}
+		}
+	}
+}
+
+func TestDividerRandomLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	divisors := []uint32{3, 5, 7, 9, 25, 49, 63, 147, 1152, 4608, 12800, 1 << 20, 3 * (1 << 18)}
+	for _, d := range divisors {
+		v := newDivider(d)
+		for i := 0; i < 200000; i++ {
+			n := rng.Uint32()
+			if got := v.Div(n); got != n/d {
+				t.Fatalf("d=%d n=%d: div got %d, want %d", d, n, got, n/d)
+			}
+			if got := v.Mod(n); got != n%d {
+				t.Fatalf("d=%d n=%d: mod got %d, want %d", d, n, got, n%d)
+			}
+		}
+		// Boundary values.
+		for _, n := range []uint32{0, 1, d - 1, d, d + 1, 2*d - 1, ^uint32(0), ^uint32(0) - 1} {
+			if got := v.Div(n); got != n/d {
+				t.Fatalf("d=%d boundary n=%d: got %d, want %d", d, n, got, n/d)
+			}
+		}
+	}
+}
+
+func TestDividerPow2Path(t *testing.T) {
+	for _, d := range []uint32{1, 2, 16, 1024, 1 << 30} {
+		v := newDivider(d)
+		if !v.IsPow2() {
+			t.Errorf("d=%d should take the shift path", d)
+		}
+	}
+	if newDivider(3).IsPow2() {
+		t.Error("3 should take the magic path")
+	}
+}
+
+func TestDividerZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	newDivider(0)
+}
+
+func TestDividerString(t *testing.T) {
+	if s := newDivider(16).String(); s == "" {
+		t.Error("empty string")
+	}
+	if s := newDivider(3).String(); s == "" {
+		t.Error("empty string")
+	}
+}
+
+func BenchmarkDividerMagic(b *testing.B) {
+	v := newDivider(147)
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		sink += v.Div(uint32(i))
+	}
+	_ = sink
+}

@@ -1,0 +1,116 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"duplo/internal/memmodel"
+	"duplo/internal/workload"
+)
+
+func geomean(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(v)))
+}
+
+func speedups(m memmodel.Method) []float64 {
+	d := RTX2080Ti()
+	var out []float64
+	for _, l := range workload.AllLayers() {
+		p := l.GemmParams()
+		if !memmodel.Applicable(m, p) {
+			continue
+		}
+		out = append(out, Speedup(d, m, p))
+	}
+	return out
+}
+
+// Fig. 2 shape: GEMM_TC > Winograd > GEMM > FFT on average, with averages
+// in the paper's regime (25.7 / 20.7 / 13.5 / 11.5).
+func TestSpeedupOrdering(t *testing.T) {
+	gemm := geomean(speedups(memmodel.GEMM))
+	gtc := geomean(speedups(memmodel.GEMMTensorCore))
+	wino := geomean(speedups(memmodel.Winograd))
+	fft := geomean(speedups(memmodel.FFT))
+	t.Logf("gmean speedups: GEMM %.1f (paper 13.5) Winograd %.1f (20.7) FFT %.1f (11.5) GEMM_TC %.1f (25.7)",
+		gemm, wino, fft, gtc)
+	if !(gtc > wino && wino > gemm && gemm > fft*0.8) {
+		t.Errorf("ordering violated: GEMM %.1f Winograd %.1f FFT %.1f GEMM_TC %.1f", gemm, wino, fft, gtc)
+	}
+	if gemm < 5 || gemm > 30 {
+		t.Errorf("GEMM average %.1f out of regime (paper 13.5)", gemm)
+	}
+	if gtc < 12 || gtc > 60 {
+		t.Errorf("GEMM_TC average %.1f out of regime (paper 25.7)", gtc)
+	}
+}
+
+func TestInapplicableIsInfOrZero(t *testing.T) {
+	d := RTX2080Ti()
+	c1, _ := workload.Find("ResNet", "C1")
+	if !math.IsInf(Seconds(d, memmodel.Winograd, c1.Params), 1) {
+		t.Error("Winograd on 7x7 should be +Inf")
+	}
+	if Speedup(d, memmodel.Winograd, c1.Params) != 0 {
+		t.Error("Speedup of inapplicable should be 0")
+	}
+}
+
+func TestDirectIsSlowest(t *testing.T) {
+	d := RTX2080Ti()
+	for _, l := range workload.AllLayers() {
+		p := l.GemmParams()
+		td := Seconds(d, memmodel.Direct, p)
+		for _, m := range memmodel.Methods() {
+			tm := Seconds(d, m, p)
+			if math.IsInf(tm, 1) {
+				continue
+			}
+			if tm > td {
+				t.Errorf("%s: %v slower than direct (%v vs %v)", l.FullName(), m, tm, td)
+			}
+		}
+	}
+}
+
+func TestOccupancyRollOff(t *testing.T) {
+	d := RTX2080Ti()
+	if d.occupancy(1) >= d.occupancy(1000) {
+		t.Error("small grids should have lower occupancy")
+	}
+	if d.occupancy(100000) != 1 {
+		t.Error("large grids saturate at 1")
+	}
+	if d.occupancy(0) <= 0 {
+		t.Error("occupancy floor must be positive")
+	}
+}
+
+func TestTimesArePositiveAndFinite(t *testing.T) {
+	d := RTX2080Ti()
+	for _, l := range workload.AllLayers() {
+		p := l.GemmParams()
+		for _, m := range append(memmodel.Methods(), memmodel.Direct, memmodel.ImplicitGEMM) {
+			s := Seconds(d, m, p)
+			if math.IsInf(s, 1) {
+				continue
+			}
+			if s <= 0 || math.IsNaN(s) {
+				t.Errorf("%s %v: time %v", l.FullName(), m, s)
+			}
+		}
+	}
+}
+
+// Tensor cores must beat CUDA-core GEMM on compute-bound layers.
+func TestTensorCoreAdvantage(t *testing.T) {
+	d := RTX2080Ti()
+	c6, _ := workload.Find("YOLO", "C6") // 512->1024 channels: compute heavy
+	if Seconds(d, memmodel.GEMMTensorCore, c6.Params) >= Seconds(d, memmodel.GEMM, c6.Params) {
+		t.Error("tensor cores should win on compute-bound layers")
+	}
+}

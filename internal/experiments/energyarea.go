@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+
+	"duplo/internal/energy"
+	"duplo/internal/report"
+)
+
+// EnergyArea reproduces §V-H: on-chip energy reduction and LHB area
+// overhead relative to the register file (paper: -34.1% energy, +0.77%
+// area).
+func (r *Runner) EnergyArea() (*report.Table, error) {
+	m := energy.Default12nm()
+	t := report.NewTable("Section V-H: Energy and area",
+		"Layer", "Base on-chip (uJ)", "Duplo on-chip (uJ)", "Saving", "DRAM saving")
+	var savings, dramSavings []float64
+	for _, l := range r.opts.layers() {
+		base, err := r.Baseline(l)
+		if err != nil {
+			return nil, err
+		}
+		dup, err := r.Duplo(l, DefaultLHB)
+		if err != nil {
+			return nil, err
+		}
+		be, de := energy.Energy(m, base), energy.Energy(m, dup)
+		s := energy.OnChipSaving(m, base, dup)
+		var ds float64
+		if be.DRAMNJ > 0 {
+			ds = 1 - de.DRAMNJ/be.DRAMNJ
+		}
+		savings = append(savings, s)
+		dramSavings = append(dramSavings, ds)
+		t.AddRowCells([]string{l.FullName(),
+			fmt.Sprintf("%.1f", be.OnChipNJ/1e3), fmt.Sprintf("%.1f", de.OnChipNJ/1e3),
+			report.Pct(s), report.Pct(ds)})
+		r.opts.progress("energy %s done", l.FullName())
+	}
+	t.AddRowCells([]string{"Mean", "", "", report.Pct(mean(savings)), report.Pct(mean(dramSavings))})
+	perEntry, totalBits := energy.LHBBits(1024)
+	t.AddRowCells([]string{"", "", "", "", ""})
+	t.AddRowCells([]string{fmt.Sprintf("LHB: %d bits/entry, %d KB total", perEntry, totalBits/8/1024), "",
+		fmt.Sprintf("area overhead vs 256KB RF: %s", report.PctU(energy.AreaOverhead(m, 1024))), "", ""})
+	return t, nil
+}

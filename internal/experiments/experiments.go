@@ -1,0 +1,151 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (the per-experiment index lives in DESIGN.md §3). Each
+// experiment returns a report.Table so cmd/duploexp and the benchmark
+// harness share one implementation.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	duplo "duplo/internal/core"
+	"duplo/internal/sim"
+	"duplo/internal/workload"
+)
+
+// Options scales experiment cost. The defaults reproduce the shapes at
+// manageable runtime; -full removes the CTA cap.
+type Options struct {
+	// MaxCTAs bounds simulated CTAs per kernel (0 = full grid).
+	MaxCTAs int
+	// SimSMs is the number of SMs simulated (memory system sliced
+	// proportionally).
+	SimSMs int
+	// Layers restricts the layer set (nil = all of Table I).
+	Layers []workload.Layer
+	// Verbose prints progress lines.
+	Verbose  bool
+	Progress func(string)
+}
+
+// DefaultOptions returns the standard experiment scale.
+func DefaultOptions() Options {
+	return Options{MaxCTAs: 96, SimSMs: 4}
+}
+
+// QuickOptions returns a reduced scale for benches and smoke tests.
+func QuickOptions() Options {
+	return Options{MaxCTAs: 12, SimSMs: 2}
+}
+
+func (o Options) layers() []workload.Layer {
+	if o.Layers != nil {
+		return o.Layers
+	}
+	return workload.AllLayers()
+}
+
+func (o Options) config() sim.Config {
+	cfg := sim.TitanVConfig()
+	if o.MaxCTAs >= 0 {
+		cfg.MaxCTAs = o.MaxCTAs
+	}
+	if o.SimSMs > 0 {
+		cfg.SimSMs = o.SimSMs
+	}
+	return cfg
+}
+
+func (o Options) progress(format string, args ...interface{}) {
+	if o.Verbose && o.Progress != nil {
+		o.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// Runner memoizes simulator runs so experiments sharing configurations
+// (Fig. 9 and Fig. 10, for instance) pay for each simulation once.
+type Runner struct {
+	opts  Options
+	cache map[string]sim.Result
+}
+
+// NewRunner builds a runner.
+func NewRunner(opts Options) *Runner {
+	return &Runner{opts: opts, cache: make(map[string]sim.Result)}
+}
+
+// LHBPoints is the Fig. 9/10 sweep: four sizes plus the oracle.
+var LHBPoints = []struct {
+	Name string
+	Cfg  duplo.LHBConfig
+}{
+	{"256-entry", duplo.LHBConfig{Entries: 256, Ways: 1}},
+	{"512-entry", duplo.LHBConfig{Entries: 512, Ways: 1}},
+	{"1024-entry", duplo.LHBConfig{Entries: 1024, Ways: 1}},
+	{"2048-entry", duplo.LHBConfig{Entries: 2048, Ways: 1}},
+	{"Oracle", duplo.LHBConfig{Oracle: true}},
+}
+
+// DefaultLHB is the paper's chosen design point (§V-B).
+var DefaultLHB = duplo.LHBConfig{Entries: 1024, Ways: 1}
+
+// key builds a cache key for a kernel/config combination.
+func (r *Runner) key(kernelName string, cfg sim.Config) string {
+	d := cfg.DetectCfg
+	return fmt.Sprintf("%s|d=%v|e=%d,w=%d,o=%v,ne=%v,mi=%v|lat=%d|cta=%d|sm=%d|b=%d|rl=%d|l1=%d|l2=%d",
+		kernelName, cfg.Duplo, d.LHB.Entries, d.LHB.Ways, d.LHB.Oracle, d.LHB.NeverEvict, d.LHB.ModuloIndex,
+		d.LatencyCycles, cfg.MaxCTAs, cfg.SimSMs, 0, cfg.RetireDelay, cfg.L1KB, cfg.L2KB)
+}
+
+// Run simulates kernel k under cfg, memoized.
+func (r *Runner) Run(k *sim.Kernel, cfg sim.Config) (sim.Result, error) {
+	key := r.key(k.Name, cfg)
+	if res, ok := r.cache[key]; ok {
+		return res, nil
+	}
+	res, err := sim.Run(cfg, k)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	r.cache[key] = res
+	return res, nil
+}
+
+// LayerKernel builds the forward tensor-core GEMM kernel for a layer.
+func LayerKernel(l workload.Layer) (*sim.Kernel, error) {
+	return sim.NewConvKernel(l.FullName(), l.GemmParams())
+}
+
+// Baseline runs the layer without Duplo.
+func (r *Runner) Baseline(l workload.Layer) (sim.Result, error) {
+	k, err := LayerKernel(l)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return r.Run(k, r.opts.config())
+}
+
+// Duplo runs the layer with the given LHB configuration.
+func (r *Runner) Duplo(l workload.Layer, lhb duplo.LHBConfig) (sim.Result, error) {
+	k, err := LayerKernel(l)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	cfg := r.opts.config()
+	cfg.Duplo = true
+	cfg.DetectCfg.LHB = lhb
+	return r.Run(k, cfg)
+}
+
+// gmeanImprovement aggregates fractional improvements geometrically, the
+// way the paper's "Gmean" bars do.
+func gmeanImprovement(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += math.Log(1 + x)
+	}
+	return math.Exp(s/float64(len(v))) - 1
+}

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"duplo/internal/workload"
+)
+
+// tinyOptions keeps integration tests fast: two representative layers, a
+// small CTA cap, two SMs.
+func tinyOptions() Options {
+	c2, _ := workload.Find("ResNet", "C2")
+	return Options{MaxCTAs: 8, SimSMs: 2, Layers: []workload.Layer{c2}}
+}
+
+func TestTable1(t *testing.T) {
+	out := Table1().String()
+	for _, want := range []string{"ResNet", "GAN", "YOLO", "8x224x224x3", "64x7x7x3", "1024x3x3x512"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I missing %q", want)
+		}
+	}
+	if got := strings.Count(out, "\n"); got != 22+3 {
+		t.Errorf("Table I line count %d", got)
+	}
+}
+
+// Table II must reproduce the paper's four-row workflow exactly:
+// miss/alloc, bypass, hit/reuse, conflict/replacement.
+func TestTable2(t *testing.T) {
+	tb, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.String()
+	for _, want := range []string{"Entry allocation", "Register reuse", "Entry replacement", "N/A"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table II missing %q:\n%s", want, out)
+		}
+	}
+	// Element IDs from the paper: 2, 2, 6.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 7 {
+		t.Fatalf("table too short:\n%s", out)
+	}
+	if !strings.Contains(out, "Hit") || !strings.Contains(out, "Miss") {
+		t.Errorf("Table II missing statuses:\n%s", out)
+	}
+}
+
+func TestTable3(t *testing.T) {
+	out := Table3().String()
+	for _, want := range []string{"80", "1200MHz", "Greedy-then-oldest", "652.8GB/s", "4.5MB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table III missing %q", want)
+		}
+	}
+}
+
+func TestFig2Fig3(t *testing.T) {
+	f2 := Fig2().String()
+	if !strings.Contains(f2, "GEMM_TC") || !strings.Contains(f2, "Gmean") {
+		t.Error("Fig 2 incomplete")
+	}
+	// Inapplicable bars: ResNet C1 has n/a for Winograd.
+	if !strings.Contains(f2, "n/a") {
+		t.Error("Fig 2 must mark inapplicable methods")
+	}
+	f3 := Fig3().String()
+	if !strings.Contains(f3, "FFT") || !strings.Contains(f3, "Mean") {
+		t.Error("Fig 3 incomplete")
+	}
+}
+
+func TestFig9Through13Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	r := NewRunner(tinyOptions())
+	f9, err := r.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f9.String(), "Gmean") || !strings.Contains(f9.String(), "Oracle") {
+		t.Errorf("Fig 9 incomplete:\n%s", f9)
+	}
+	f10, err := r.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f10.String(), "%") {
+		t.Error("Fig 10 has no rates")
+	}
+	f11, err := r.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f11.String(), "DRAM") {
+		t.Error("Fig 11 incomplete")
+	}
+	f12, err := r.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f12.String(), "8-way") {
+		t.Error("Fig 12 incomplete")
+	}
+}
+
+func TestFig13Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	c8, _ := workload.Find("ResNet", "C8")
+	opts := tinyOptions()
+	opts.Layers = []workload.Layer{c8}
+	r := NewRunner(opts)
+	f13, err := r.Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f13.String(), "Batch 32") {
+		t.Errorf("Fig 13 incomplete:\n%s", f13)
+	}
+}
+
+func TestEnergyAreaSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	r := NewRunner(tinyOptions())
+	tb, err := r.EnergyArea()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.String()
+	if !strings.Contains(out, "area overhead") {
+		t.Errorf("energy table incomplete:\n%s", out)
+	}
+}
+
+func TestRunnerMemoization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	r := NewRunner(tinyOptions())
+	l, _ := workload.Find("ResNet", "C8")
+	a, err := r.Baseline(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Baseline(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles {
+		t.Fatal("memoized run differs")
+	}
+	if len(r.cache) != 1 {
+		t.Fatalf("cache size %d, want 1", len(r.cache))
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	d := DefaultOptions()
+	if d.MaxCTAs <= 0 || d.SimSMs <= 0 {
+		t.Fatal("bad defaults")
+	}
+	q := QuickOptions()
+	if q.MaxCTAs >= d.MaxCTAs {
+		t.Fatal("quick options should be smaller")
+	}
+	if len(d.layers()) != 22 {
+		t.Fatal("default layers should be all of Table I")
+	}
+}
+
+// The analytic hit-rate limits: 3x3 stride-1 layers must sit near 8/9 and
+// the Table I mean must land in the §V-C regime (paper: 88.9%).
+func TestLimits(t *testing.T) {
+	tb := Limits()
+	out := tb.String()
+	if !strings.Contains(out, "Hit-rate limit") {
+		t.Fatalf("table incomplete:\n%s", out)
+	}
+	c2, _ := workload.Find("ResNet", "C2")
+	lim := ExactHitLimit(c2)
+	if lim < 0.85 || lim > 0.90 {
+		t.Errorf("ResNet C2 limit %v, want ~8/9", lim)
+	}
+	c6, _ := workload.Find("YOLO", "C6")
+	lim6 := ExactHitLimit(c6)
+	if lim6 < 0.80 || lim6 > 0.92 {
+		t.Errorf("YOLO C6 limit %v", lim6)
+	}
+	// Strided, pad-0 layers have much less duplication.
+	c3, _ := workload.Find("ResNet", "C3")
+	if l3 := ExactHitLimit(c3); l3 > lim {
+		t.Errorf("strided layer limit %v should be below stride-1 %v", l3, lim)
+	}
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"duplo/internal/report"
+	"duplo/internal/sim"
+	"duplo/internal/workload"
+)
+
+// networkCycles estimates full-network execution time (in baseline cycles,
+// scaled from the simulated CTA prefix to the whole grid) for one pass.
+func (r *Runner) networkCycles(layers []workload.Layer, training, duploOn bool) (float64, error) {
+	total := 0.0
+	cfg := r.opts.config()
+	cfg.Duplo = duploOn
+	cfg.DetectCfg.LHB = DefaultLHB
+	for _, l := range layers {
+		var gemms []workload.TrainingGemm
+		if training {
+			gemms = workload.TrainingGemms(l)
+		} else {
+			p := l.GemmParams()
+			gemms = []workload.TrainingGemm{{Name: l.FullName() + "/fwd", Conv: &p}}
+		}
+		for _, g := range gemms {
+			var k *sim.Kernel
+			var err error
+			if g.Conv != nil {
+				k, err = sim.NewConvKernel(g.Name, *g.Conv)
+			} else {
+				k, err = sim.NewGemmKernel(g.Name, g.M, g.N, g.K)
+			}
+			if err != nil {
+				return 0, err
+			}
+			res, err := r.Run(k, cfg)
+			if err != nil {
+				return 0, err
+			}
+			// Scale the simulated CTA prefix to the full grid.
+			scale := float64(res.TotalCTAs) / float64(res.SimulatedCTAs)
+			total += float64(res.Cycles) * scale
+			r.opts.progress("fig14 %s done (duplo=%v)", g.Name, duploOn)
+		}
+	}
+	return total, nil
+}
+
+// Fig14 reproduces Figure 14: network-level execution time of baseline (B)
+// and Duplo (D) for inference and training, normalized to the baseline.
+// Training improves less than inference because the weight-gradient GEMM
+// has no lowered workspace for Duplo to deduplicate.
+func (r *Runner) Fig14() (*report.Table, error) {
+	t := report.NewTable("Figure 14: Network-level normalized execution time (lower is better)",
+		"Network", "Pass", "Baseline", "Duplo", "Reduction")
+	var inferImps, trainImps []float64
+	for _, name := range workload.NetworkNames() {
+		layers := workload.Networks()[name]
+		for _, training := range []bool{false, true} {
+			base, err := r.networkCycles(layers, training, false)
+			if err != nil {
+				return nil, err
+			}
+			dup, err := r.networkCycles(layers, training, true)
+			if err != nil {
+				return nil, err
+			}
+			red := 1 - dup/base
+			pass := "Infer."
+			if training {
+				pass = "Train."
+				trainImps = append(trainImps, red)
+			} else {
+				inferImps = append(inferImps, red)
+			}
+			t.AddRowCells([]string{name, pass, "1.00", fmt.Sprintf("%.2f", dup/base), report.Pct(red)})
+		}
+	}
+	t.AddRowCells([]string{"Mean", "Infer.", "1.00", "", report.Pct(mean(inferImps))})
+	t.AddRowCells([]string{"Mean", "Train.", "1.00", "", report.Pct(mean(trainImps))})
+	return t, nil
+}

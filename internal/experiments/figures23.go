@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"math"
+
+	"duplo/internal/costmodel"
+	"duplo/internal/memmodel"
+	"duplo/internal/report"
+	"duplo/internal/workload"
+)
+
+// Fig2 reproduces Figure 2: speedup of each convolution method over direct
+// convolution per layer, via the analytic device model (DESIGN.md §1 —
+// stand-in for the paper's RTX 2080 Ti measurements). Inapplicable cells
+// render "n/a", matching the figure's missing bars.
+func Fig2() *report.Table {
+	d := costmodel.RTX2080Ti()
+	methods := memmodel.Methods()
+	headers := []string{"Layer"}
+	for _, m := range methods {
+		headers = append(headers, m.String())
+	}
+	t := report.NewTable("Figure 2: Speedup over direct convolution", headers...)
+	sums := make([][]float64, len(methods))
+	for _, l := range workload.AllLayers() {
+		p := l.GemmParams()
+		row := []string{l.FullName()}
+		for i, m := range methods {
+			s := costmodel.Speedup(d, m, p)
+			row = append(row, report.Ratio(s))
+			if s > 0 {
+				sums[i] = append(sums[i], s)
+			}
+		}
+		t.AddRowCells(row)
+	}
+	avg := []string{"Gmean"}
+	for i := range methods {
+		avg = append(avg, report.Ratio(gmean(sums[i])))
+	}
+	t.AddRowCells(avg)
+	return t
+}
+
+// Fig3 reproduces Figure 3: memory usage of each method relative to direct
+// convolution, plus the §II-C implicit-GEMM comparison.
+func Fig3() *report.Table {
+	methods := memmodel.Methods()
+	headers := []string{"Layer"}
+	for _, m := range methods {
+		headers = append(headers, m.String())
+	}
+	headers = append(headers, "Implicit/Explicit")
+	t := report.NewTable("Figure 3: Memory usage relative to direct convolution", headers...)
+	sums := make([][]float64, len(methods))
+	var implicitRatios []float64
+	for _, l := range workload.AllLayers() {
+		p := l.GemmParams()
+		row := []string{l.FullName()}
+		for i, m := range methods {
+			u := memmodel.RelativeUsage(m, p)
+			row = append(row, report.Ratio(u))
+			if u > 0 {
+				sums[i] = append(sums[i], u)
+			}
+		}
+		ir := memmodel.ImplicitVsExplicitRatio(p)
+		row = append(row, report.Ratio(ir))
+		implicitRatios = append(implicitRatios, ir)
+		t.AddRowCells(row)
+	}
+	avg := []string{"Mean"}
+	for i := range methods {
+		avg = append(avg, report.Ratio(mean(sums[i])))
+	}
+	avg = append(avg, report.Ratio(mean(implicitRatios)))
+	t.AddRowCells(avg)
+	return t
+}
+
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+func gmean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	p := 0.0
+	for _, x := range v {
+		p += math.Log(x)
+	}
+	return math.Exp(p / float64(len(v)))
+}

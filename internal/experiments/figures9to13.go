@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+
+	duplo "duplo/internal/core"
+	"duplo/internal/report"
+	"duplo/internal/sim"
+)
+
+// Fig9 reproduces Figure 9: per-layer performance improvement of Duplo over
+// the baseline for variable-sized LHBs (256 to 2048 entries plus the
+// oracle), ending with the gmean row.
+func (r *Runner) Fig9() (*report.Table, error) {
+	headers := []string{"Layer"}
+	for _, p := range LHBPoints {
+		headers = append(headers, p.Name)
+	}
+	t := report.NewTable("Figure 9: Performance improvement vs LHB size", headers...)
+	agg := make([][]float64, len(LHBPoints))
+	for _, l := range r.opts.layers() {
+		base, err := r.Baseline(l)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{l.FullName()}
+		for i, pt := range LHBPoints {
+			dup, err := r.Duplo(l, pt.Cfg)
+			if err != nil {
+				return nil, err
+			}
+			imp := sim.Speedup(base, dup)
+			agg[i] = append(agg[i], imp)
+			row = append(row, report.Pct(imp))
+		}
+		t.AddRowCells(row)
+		r.opts.progress("fig9 %s done", l.FullName())
+	}
+	g := []string{"Gmean"}
+	for i := range LHBPoints {
+		g = append(g, report.Pct(gmeanImprovement(agg[i])))
+	}
+	t.AddRowCells(g)
+	return t, nil
+}
+
+// Fig10 reproduces Figure 10: LHB hit rate per layer for the same sweep.
+func (r *Runner) Fig10() (*report.Table, error) {
+	headers := []string{"Layer"}
+	for _, p := range LHBPoints {
+		headers = append(headers, p.Name)
+	}
+	t := report.NewTable("Figure 10: LHB hit rate vs size", headers...)
+	agg := make([][]float64, len(LHBPoints))
+	for _, l := range r.opts.layers() {
+		row := []string{l.FullName()}
+		for i, pt := range LHBPoints {
+			dup, err := r.Duplo(l, pt.Cfg)
+			if err != nil {
+				return nil, err
+			}
+			hr := dup.LHBHitRate()
+			agg[i] = append(agg[i], hr)
+			row = append(row, report.PctU(hr))
+		}
+		t.AddRowCells(row)
+		r.opts.progress("fig10 %s done", l.FullName())
+	}
+	g := []string{"Mean"}
+	for i := range LHBPoints {
+		g = append(g, report.PctU(mean(agg[i])))
+	}
+	t.AddRowCells(g)
+	return t, nil
+}
+
+// Fig11 reproduces Figure 11: the breakdown of which memory-hierarchy level
+// services load data, baseline (B) vs Duplo with a 1024-entry LHB (D), plus
+// the traffic deltas the paper quotes (§V-D: DRAM -26.6%, L1 -28.1%,
+// L2 -19.2% on average).
+func (r *Runner) Fig11() (*report.Table, error) {
+	t := report.NewTable("Figure 11: Memory service breakdown (B=baseline, D=Duplo 1024)",
+		"Layer", "Cfg", "LHB", "L1$", "L2$", "DRAM", "dDRAM", "dL1svc", "dL2svc")
+	var dDRAM, dL1, dL2 []float64
+	for _, l := range r.opts.layers() {
+		base, err := r.Baseline(l)
+		if err != nil {
+			return nil, err
+		}
+		dup, err := r.Duplo(l, DefaultLHB)
+		if err != nil {
+			return nil, err
+		}
+		bb := base.ServiceBreakdown()
+		db := dup.ServiceBreakdown()
+		t.AddRowCells([]string{l.FullName(), "B",
+			report.PctU(bb[sim.ServiceLHB]), report.PctU(bb[sim.ServiceL1]),
+			report.PctU(bb[sim.ServiceL2]), report.PctU(bb[sim.ServiceDRAM]), "", "", ""})
+		rd := ratioDelta(dup.DRAMLines, base.DRAMLines)
+		// "Data services" deltas, like §V-D (not tag probes — Duplo still
+		// probes the L1 in parallel with the LHB).
+		rl1 := ratioDelta(dup.ServiceLines[sim.ServiceL1], base.ServiceLines[sim.ServiceL1])
+		rl2 := ratioDelta(dup.ServiceLines[sim.ServiceL2], base.ServiceLines[sim.ServiceL2])
+		dDRAM = append(dDRAM, rd)
+		dL1 = append(dL1, rl1)
+		dL2 = append(dL2, rl2)
+		t.AddRowCells([]string{"", "D",
+			report.PctU(db[sim.ServiceLHB]), report.PctU(db[sim.ServiceL1]),
+			report.PctU(db[sim.ServiceL2]), report.PctU(db[sim.ServiceDRAM]),
+			report.Pct(rd), report.Pct(rl1), report.Pct(rl2)})
+		r.opts.progress("fig11 %s done", l.FullName())
+	}
+	t.AddRowCells([]string{"Mean", "", "", "", "", "",
+		report.Pct(mean(dDRAM)), report.Pct(mean(dL1)), report.Pct(mean(dL2))})
+	return t, nil
+}
+
+func ratioDelta(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a)/float64(b) - 1
+}
+
+// Fig12 reproduces Figure 12: set-associative LHBs (1024 entries total) vs
+// the direct-mapped default. The paper finds 8-way buys only ~3.6%.
+func (r *Runner) Fig12() (*report.Table, error) {
+	ways := []int{1, 2, 4, 8}
+	headers := []string{"Layer"}
+	for _, w := range ways {
+		if w == 1 {
+			headers = append(headers, "Direct")
+		} else {
+			headers = append(headers, fmt.Sprintf("%d-way", w))
+		}
+	}
+	t := report.NewTable("Figure 12: Performance improvement vs LHB associativity (1024 entries)", headers...)
+	agg := make([][]float64, len(ways))
+	for _, l := range r.opts.layers() {
+		base, err := r.Baseline(l)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{l.FullName()}
+		for i, w := range ways {
+			dup, err := r.Duplo(l, duplo.LHBConfig{Entries: 1024, Ways: w})
+			if err != nil {
+				return nil, err
+			}
+			imp := sim.Speedup(base, dup)
+			agg[i] = append(agg[i], imp)
+			row = append(row, report.Pct(imp))
+		}
+		t.AddRowCells(row)
+		r.opts.progress("fig12 %s done", l.FullName())
+	}
+	g := []string{"Gmean"}
+	for i := range ways {
+		g = append(g, report.Pct(gmeanImprovement(agg[i])))
+	}
+	t.AddRowCells(g)
+	return t, nil
+}
+
+// Fig13 reproduces Figure 13: Duplo's improvement with batch sizes 8, 16
+// and 32 (1024-entry LHB). Larger batches enlarge the workspace without
+// adding cross-image duplication, so the fixed-size LHB covers a smaller
+// fraction (§V-F).
+func (r *Runner) Fig13() (*report.Table, error) {
+	batches := []int{8, 16, 32}
+	headers := []string{"Layer"}
+	for _, b := range batches {
+		headers = append(headers, fmt.Sprintf("Batch %d", b))
+	}
+	t := report.NewTable("Figure 13: Performance improvement vs batch size (1024-entry LHB)", headers...)
+	agg := make([][]float64, len(batches))
+	for _, l := range r.opts.layers() {
+		row := []string{l.FullName()}
+		for i, b := range batches {
+			lb := l
+			lb.Params = l.Params.WithBatch(b)
+			k, err := LayerKernel(lb)
+			if err != nil {
+				return nil, err
+			}
+			k.Name = fmt.Sprintf("%s@b%d", lb.FullName(), b)
+			cfg := r.opts.config()
+			base, err := r.Run(k, cfg)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Duplo = true
+			cfg.DetectCfg.LHB = DefaultLHB
+			dup, err := r.Run(k, cfg)
+			if err != nil {
+				return nil, err
+			}
+			imp := sim.Speedup(base, dup)
+			agg[i] = append(agg[i], imp)
+			row = append(row, report.Pct(imp))
+		}
+		t.AddRowCells(row)
+		r.opts.progress("fig13 %s done", l.FullName())
+	}
+	g := []string{"Gmean"}
+	for i := range batches {
+		g = append(g, report.Pct(gmeanImprovement(agg[i])))
+	}
+	t.AddRowCells(g)
+	return t, nil
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+
+	"duplo/internal/report"
+	"duplo/internal/workload"
+)
+
+// Limits computes the analytic duplication statistics of every layer: the
+// workspace expansion factor and the theoretical upper limit of the LHB hit
+// rate, 1 - distinctIDs/workspaceElems (§V-C reports 88.9% on average for
+// Table I; every 3x3 stride-1 "same" layer is exactly 8/9 ignoring edges).
+func Limits() *report.Table {
+	t := report.NewTable("Analytic duplication limits (§III / §V-C)",
+		"Layer", "Workspace MxK", "Expansion", "Hit-rate limit")
+	var sum float64
+	for _, l := range workload.AllLayers() {
+		p := l.GemmParams()
+		limit := ExactHitLimit(l)
+		sum += limit
+		t.AddRowCells([]string{
+			l.FullName(),
+			fmt.Sprintf("%dx%d", p.GemmM(), p.GemmK()),
+			fmt.Sprintf("%.1fx", p.DuplicationFactor()),
+			report.PctU(limit),
+		})
+	}
+	t.AddRowCells([]string{"Mean", "", "", report.PctU(sum / float64(len(workload.AllLayers())))})
+	return t
+}
+
+// ExactHitLimit returns the exact theoretical hit-rate limit of a layer:
+// one compulsory miss per distinct (batch, element) ID, every other
+// workspace reference a potential hit. Halo (zero-pad) entries carry
+// distinct IDs under the padded-width generalization (internal/core), so
+// they count as unique, exactly as the generator treats them.
+//
+// The distinct-ID set is {(iy*(W+2P)+ix) : referenced padded coords} x C
+// per image; it is enumerated over output/tap coordinates in O(OH*FH*OW*FW)
+// time, fine for every Table I layer.
+func ExactHitLimit(l workload.Layer) float64 {
+	p := l.GemmParams()
+	wp := p.W + 2*p.Pad
+	seen := make(map[int64]struct{})
+	oh, ow := p.OutH(), p.OutW()
+	for oy := 0; oy < oh; oy++ {
+		for fy := 0; fy < p.FH; fy++ {
+			iy := oy*p.Stride + fy
+			for ox := 0; ox < ow; ox++ {
+				for fx := 0; fx < p.FW; fx++ {
+					ix := ox*p.Stride + fx
+					seen[int64(iy)*int64(wp)+int64(ix)] = struct{}{}
+				}
+			}
+		}
+	}
+	distinct := int64(len(seen)) * int64(p.C) * int64(p.N)
+	total := p.WorkspaceElems()
+	limit := 1 - float64(distinct)/float64(total)
+	if limit < 0 {
+		return 0
+	}
+	return limit
+}

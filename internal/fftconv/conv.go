@@ -1,0 +1,107 @@
+package fftconv
+
+import (
+	"fmt"
+
+	"duplo/internal/conv"
+	"duplo/internal/tensor"
+)
+
+// Applicable reports whether the FFT path supports the layer: unit stride
+// only (§II-A limitations). Any filter size works.
+func Applicable(p conv.Params) bool { return p.Stride == 1 }
+
+// GridSize returns the power-of-two FFT grid edge for the layer: the padded
+// input must fit without circular wrap-around of the correlation window.
+func GridSize(p conv.Params) int {
+	h := p.H + 2*p.Pad
+	w := p.W + 2*p.Pad
+	m := h
+	if w > m {
+		m = w
+	}
+	return NextPow2(m)
+}
+
+// Conv computes the convolution via the Fourier domain. Per (image, output
+// channel): accumulate over input channels F(D_c)·conj(F(G_kc)), inverse
+// transform once, and crop the valid correlation region.
+func Conv(p conv.Params, input, filters *tensor.Tensor) (*tensor.Tensor, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !Applicable(p) {
+		return nil, fmt.Errorf("fftconv: inapplicable layer (stride %d)", p.Stride)
+	}
+	if input.N != p.N || input.H != p.H || input.W != p.W || input.C != p.C {
+		return nil, fmt.Errorf("fftconv: input shape %s != params", input.ShapeString())
+	}
+	if filters.N != p.K || filters.H != p.FH || filters.W != p.FW || filters.C != p.C {
+		return nil, fmt.Errorf("fftconv: filter shape %s != params", filters.ShapeString())
+	}
+
+	l := GridSize(p)
+	out := p.NewOutput()
+	oh, ow := p.OutH(), p.OutW()
+
+	// Pre-transform all filter planes: FG[k][c].
+	fg := make([][]*grid, p.K)
+	for k := 0; k < p.K; k++ {
+		fg[k] = make([]*grid, p.C)
+		for c := 0; c < p.C; c++ {
+			g := newGrid(l)
+			for fy := 0; fy < p.FH; fy++ {
+				for fx := 0; fx < p.FW; fx++ {
+					g.re[fy*l+fx] = float64(filters.At(k, fy, fx, c))
+				}
+			}
+			g.fft2d(false)
+			fg[k][c] = g
+		}
+	}
+
+	fin := make([]*grid, p.C)
+	for n := 0; n < p.N; n++ {
+		// Transform each padded input plane of this image.
+		for c := 0; c < p.C; c++ {
+			g := newGrid(l)
+			for y := 0; y < p.H; y++ {
+				for x := 0; x < p.W; x++ {
+					g.re[(y+p.Pad)*l+(x+p.Pad)] = float64(input.At(n, y, x, c))
+				}
+			}
+			g.fft2d(false)
+			fin[c] = g
+		}
+		for k := 0; k < p.K; k++ {
+			acc := newGrid(l)
+			for c := 0; c < p.C; c++ {
+				accumulateCorr(acc, fin[c], fg[k][c])
+			}
+			acc.fft2d(true)
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					out.Set(n, oy, ox, k, float32(acc.re[oy*l+ox]))
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// TransformElems returns the number of complex Fourier-domain elements the
+// method materializes (padded input planes, filter planes, and one
+// accumulator per output channel), counted in real-scalar units (x2 for
+// complex). This drives the FFT bars of Fig. 3, whose 53.5x average comes
+// from padding small filters up to full power-of-two image grids.
+func TransformElems(p conv.Params) int64 {
+	if !Applicable(p) {
+		return 0
+	}
+	l := int64(GridSize(p))
+	planes := l * l
+	inputG := int64(p.N) * int64(p.C) * planes
+	filterG := int64(p.K) * int64(p.C) * planes
+	outG := int64(p.N) * int64(p.K) * planes
+	return 2 * (inputG + filterG + outG) // complex = 2 scalars
+}

@@ -1,0 +1,112 @@
+// Package fftconv implements FFT-based convolution (Mathieu et al. [24]),
+// the second transform-domain method the paper compares against.
+//
+// Input and filter planes are zero-padded to a power-of-two grid, moved to
+// the Fourier domain with a radix-2 Cooley–Tukey FFT, multiplied point-wise
+// (with conjugation, since convolutional layers compute cross-correlation),
+// accumulated over channels, and inverse-transformed.
+//
+// Applicability follows §II-A: unit-stride filters only.
+package fftconv
+
+import (
+	"math"
+	"math/bits"
+)
+
+// fft performs an in-place radix-2 decimation-in-time FFT on x
+// (len(x) must be a power of two). If inverse, computes the unscaled
+// inverse transform (caller divides by N).
+func fft(re, im []float64, inverse bool) {
+	n := len(re)
+	if n != len(im) || n&(n-1) != 0 {
+		panic("fftconv: length must be a power of two")
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		ang := sign * 2 * math.Pi / float64(size)
+		wr, wi := math.Cos(ang), math.Sin(ang)
+		for start := 0; start < n; start += size {
+			cr, ci := 1.0, 0.0
+			for k := 0; k < half; k++ {
+				i, j := start+k, start+k+half
+				tr := re[j]*cr - im[j]*ci
+				ti := re[j]*ci + im[j]*cr
+				re[j], im[j] = re[i]-tr, im[i]-ti
+				re[i], im[i] = re[i]+tr, im[i]+ti
+				cr, ci = cr*wr-ci*wi, cr*wi+ci*wr
+			}
+		}
+	}
+}
+
+// grid is a square LxL complex grid stored as separate real/imag planes.
+type grid struct {
+	l      int
+	re, im []float64
+}
+
+func newGrid(l int) *grid {
+	return &grid{l: l, re: make([]float64, l*l), im: make([]float64, l*l)}
+}
+
+// fft2d transforms the grid in place (rows then columns).
+func (g *grid) fft2d(inverse bool) {
+	l := g.l
+	// Rows.
+	for r := 0; r < l; r++ {
+		fft(g.re[r*l:(r+1)*l], g.im[r*l:(r+1)*l], inverse)
+	}
+	// Columns via gather/scatter.
+	cr := make([]float64, l)
+	ci := make([]float64, l)
+	for c := 0; c < l; c++ {
+		for r := 0; r < l; r++ {
+			cr[r] = g.re[r*l+c]
+			ci[r] = g.im[r*l+c]
+		}
+		fft(cr, ci, inverse)
+		for r := 0; r < l; r++ {
+			g.re[r*l+c] = cr[r]
+			g.im[r*l+c] = ci[r]
+		}
+	}
+	if inverse {
+		scale := 1 / float64(l*l)
+		for i := range g.re {
+			g.re[i] *= scale
+			g.im[i] *= scale
+		}
+	}
+}
+
+// accumulateCorr adds conj(F(filter)) * F(input) into acc, the Fourier-domain
+// form of cross-correlation accumulation over channels.
+func accumulateCorr(acc, in, filt *grid) {
+	for i := range acc.re {
+		// in * conj(filt)
+		acc.re[i] += in.re[i]*filt.re[i] + in.im[i]*filt.im[i]
+		acc.im[i] += in.im[i]*filt.re[i] - in.re[i]*filt.im[i]
+	}
+}
+
+// NextPow2 returns the smallest power of two >= x (and >= 1).
+func NextPow2(x int) int {
+	if x <= 1 {
+		return 1
+	}
+	return 1 << (bits.Len(uint(x - 1)))
+}

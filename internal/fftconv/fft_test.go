@@ -1,0 +1,168 @@
+package fftconv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"duplo/internal/conv"
+	"duplo/internal/tensor"
+)
+
+func TestNextPow2(t *testing.T) {
+	cases := [][2]int{{0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {224, 256}, {230, 256}, {257, 512}}
+	for _, c := range cases {
+		if got := NextPow2(c[0]); got != c[1] {
+			t.Errorf("NextPow2(%d) = %d, want %d", c[0], c[1], got)
+		}
+	}
+}
+
+func TestFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		re := make([]float64, n)
+		im := make([]float64, n)
+		orig := make([]float64, n)
+		for i := range re {
+			re[i] = rng.NormFloat64()
+			orig[i] = re[i]
+		}
+		fft(re, im, false)
+		fft(re, im, true)
+		for i := range re {
+			if math.Abs(re[i]/float64(n)-orig[i]) > 1e-9 {
+				t.Fatalf("n=%d: round trip failed at %d", n, i)
+			}
+		}
+	}
+}
+
+// Parseval: sum |x|^2 == (1/N) sum |X|^2.
+func TestParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 128
+	re := make([]float64, n)
+	im := make([]float64, n)
+	var eIn float64
+	for i := range re {
+		re[i] = rng.NormFloat64()
+		eIn += re[i] * re[i]
+	}
+	fft(re, im, false)
+	var eOut float64
+	for i := range re {
+		eOut += re[i]*re[i] + im[i]*im[i]
+	}
+	if math.Abs(eOut/float64(n)-eIn) > 1e-8*eIn {
+		t.Fatalf("parseval: %v vs %v", eOut/float64(n), eIn)
+	}
+}
+
+// FFT of a delta is flat ones.
+func TestDeltaSpectrum(t *testing.T) {
+	n := 16
+	re := make([]float64, n)
+	im := make([]float64, n)
+	re[0] = 1
+	fft(re, im, false)
+	for i := range re {
+		if math.Abs(re[i]-1) > 1e-12 || math.Abs(im[i]) > 1e-12 {
+			t.Fatalf("delta spectrum wrong at %d: %v+%vi", i, re[i], im[i])
+		}
+	}
+}
+
+func TestFFTPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-pow2 length")
+		}
+	}()
+	fft(make([]float64, 3), make([]float64, 3), false)
+}
+
+func TestFFT2DRoundTrip(t *testing.T) {
+	g := newGrid(8)
+	rng := rand.New(rand.NewSource(3))
+	orig := make([]float64, len(g.re))
+	for i := range g.re {
+		g.re[i] = rng.NormFloat64()
+		orig[i] = g.re[i]
+	}
+	g.fft2d(false)
+	g.fft2d(true)
+	for i := range g.re {
+		if math.Abs(g.re[i]-orig[i]) > 1e-9 || math.Abs(g.im[i]) > 1e-9 {
+			t.Fatalf("2d round trip failed at %d", i)
+		}
+	}
+}
+
+func TestApplicable(t *testing.T) {
+	if !Applicable(conv.Params{N: 1, H: 4, W: 4, C: 1, K: 1, FH: 3, FW: 3, Stride: 1}) {
+		t.Error("stride 1 should be applicable")
+	}
+	p2 := conv.Params{N: 1, H: 4, W: 4, C: 1, K: 1, FH: 3, FW: 3, Stride: 2}
+	if Applicable(p2) {
+		t.Error("stride 2 should be inapplicable")
+	}
+	if _, err := Conv(p2, tensor.New(1, 4, 4, 1), tensor.New(1, 3, 3, 1)); err == nil {
+		t.Error("Conv should reject stride 2")
+	}
+}
+
+func TestConvMatchesDirect(t *testing.T) {
+	layers := []conv.Params{
+		{N: 1, H: 4, W: 4, C: 1, K: 1, FH: 3, FW: 3, Pad: 0, Stride: 1},
+		{N: 2, H: 8, W: 8, C: 3, K: 4, FH: 3, FW: 3, Pad: 1, Stride: 1},
+		{N: 1, H: 6, W: 9, C: 2, K: 2, FH: 5, FW: 5, Pad: 2, Stride: 1},
+		{N: 1, H: 10, W: 10, C: 2, K: 3, FH: 7, FW: 7, Pad: 3, Stride: 1},
+	}
+	for _, p := range layers {
+		in := tensor.New(p.N, p.H, p.W, p.C)
+		in.FillRandom(81, 1)
+		f := tensor.New(p.K, p.FH, p.FW, p.C)
+		f.FillRandom(82, 0.5)
+		want, err := conv.Direct(p, in, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Conv(p, in, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.SameShape(want) {
+			t.Fatalf("%v: shape %s vs %s", p, got.ShapeString(), want.ShapeString())
+		}
+		if d := got.RelErr(want); d > 1e-4 {
+			t.Errorf("%v: fft conv rel err %v", p, d)
+		}
+	}
+}
+
+func TestGridSizeAndTransformElems(t *testing.T) {
+	p := conv.Params{N: 1, H: 6, W: 6, C: 1, K: 1, FH: 3, FW: 3, Pad: 1, Stride: 1}
+	if GridSize(p) != 8 {
+		t.Fatalf("grid %d", GridSize(p))
+	}
+	// input 1*1*64, filter 1*1*64, out 1*1*64 complex -> 2*192 = 384.
+	if got := TransformElems(p); got != 384 {
+		t.Errorf("TransformElems = %d, want 384", got)
+	}
+	if TransformElems(conv.Params{N: 1, H: 4, W: 4, C: 1, K: 1, FH: 3, FW: 3, Stride: 2}) != 0 {
+		t.Error("inapplicable should be 0")
+	}
+}
+
+func BenchmarkFFT2D64(b *testing.B) {
+	g := newGrid(64)
+	for i := range g.re {
+		g.re[i] = float64(i % 7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.fft2d(false)
+		g.fft2d(true)
+	}
+}

@@ -1,0 +1,157 @@
+// Package fp16 implements IEEE 754 binary16 (half-precision) floating point.
+//
+// NVIDIA tensor cores consume half-precision A and B operands and accumulate
+// in single precision (Volta/Turing wmma semantics). The Duplo simulator and
+// the functional tensor-core GEMM use this package to round operands to the
+// exact value a tensor core would see, so functional cross-checks against
+// fp32 reference kernels use realistic tolerances.
+//
+// The representation is the raw 16-bit pattern (type Num). Arithmetic is
+// performed by converting to float32, which is exact: every binary16 value is
+// exactly representable in binary32.
+package fp16
+
+import "math"
+
+// Num is a raw IEEE 754 binary16 bit pattern.
+type Num uint16
+
+// Bit-field layout of binary16.
+const (
+	signMask     = 0x8000
+	expMask      = 0x7C00
+	fracMask     = 0x03FF
+	expBias      = 15
+	fracBits     = 10
+	maxExp       = 0x1F
+	infBits      = 0x7C00 // +Inf
+	nanBits      = 0x7E00 // a quiet NaN
+	maxFinite    = 65504.0
+	minNormal    = 6.103515625e-05      // 2^-14
+	minSubnormal = 5.960464477539063e-8 // 2^-24
+)
+
+// FromFloat32 converts an fp32 value to the nearest binary16 value using
+// round-to-nearest-even, matching hardware conversion instructions.
+func FromFloat32(f float32) Num {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & signMask
+	exp := int32(b>>23) & 0xFF
+	frac := b & 0x7FFFFF
+
+	switch {
+	case exp == 0xFF: // Inf or NaN
+		if frac != 0 {
+			return Num(sign | nanBits)
+		}
+		return Num(sign | infBits)
+	case exp == 0 && frac == 0: // signed zero
+		return Num(sign)
+	}
+
+	// Unbiased exponent of the fp32 value.
+	e := exp - 127
+	switch {
+	case e > 15: // overflow to infinity
+		return Num(sign | infBits)
+	case e >= -14: // normal half range
+		// 13 low bits of the fp32 fraction are rounded away.
+		half := uint32(e+expBias)<<fracBits | frac>>13
+		// Round to nearest even on the discarded 13 bits.
+		rem := frac & 0x1FFF
+		if rem > 0x1000 || (rem == 0x1000 && half&1 == 1) {
+			half++ // may carry into exponent; that is the correct rounding
+		}
+		if half >= infBits {
+			return Num(sign | infBits)
+		}
+		return Num(sign | uint16(half))
+	case e >= -24: // subnormal half range
+		// Implicit leading 1 becomes explicit; shift depends on exponent.
+		frac |= 0x800000
+		shift := uint32(-e - 14 + 13) // bits discarded
+		half := frac >> shift
+		rem := frac & ((1 << shift) - 1)
+		mid := uint32(1) << (shift - 1)
+		if rem > mid || (rem == mid && half&1 == 1) {
+			half++
+		}
+		return Num(sign | uint16(half))
+	default: // underflow to zero
+		return Num(sign)
+	}
+}
+
+// Float32 converts a binary16 value to the exactly equal float32.
+func (n Num) Float32() float32 {
+	sign := uint32(n&signMask) << 16
+	exp := uint32(n&expMask) >> fracBits
+	frac := uint32(n & fracMask)
+
+	switch {
+	case exp == maxExp: // Inf or NaN
+		if frac != 0 {
+			return math.Float32frombits(sign | 0x7FC00000 | frac<<13)
+		}
+		return math.Float32frombits(sign | 0x7F800000)
+	case exp == 0:
+		if frac == 0 {
+			return math.Float32frombits(sign) // signed zero
+		}
+		// Subnormal: normalize.
+		e := int32(-14)
+		for frac&0x400 == 0 {
+			frac <<= 1
+			e--
+		}
+		frac &= fracMask
+		return math.Float32frombits(sign | uint32(e+127)<<23 | frac<<13)
+	default:
+		return math.Float32frombits(sign | (exp-expBias+127)<<23 | frac<<13)
+	}
+}
+
+// Round returns f rounded through binary16 precision, i.e. the fp32 value a
+// tensor core would actually multiply after operand conversion.
+func Round(f float32) float32 { return FromFloat32(f).Float32() }
+
+// IsNaN reports whether n is a NaN pattern.
+func (n Num) IsNaN() bool { return n&expMask == expMask && n&fracMask != 0 }
+
+// IsInf reports whether n is +Inf or -Inf.
+func (n Num) IsInf() bool { return n&expMask == expMask && n&fracMask == 0 }
+
+// Neg returns n with its sign flipped (also flips NaN sign, like hardware).
+func (n Num) Neg() Num { return n ^ signMask }
+
+// Add returns the binary16 rounding of a+b.
+func Add(a, b Num) Num { return FromFloat32(a.Float32() + b.Float32()) }
+
+// Mul returns the binary16 rounding of a*b.
+func Mul(a, b Num) Num { return FromFloat32(a.Float32() * b.Float32()) }
+
+// FMA computes a*b+c with the product kept in fp32 before accumulation,
+// mirroring the tensor-core FEDP datapath (half multiply, fp32 accumulate).
+// The returned value is fp32 (the accumulator precision).
+func FMA(a, b Num, c float32) float32 { return a.Float32()*b.Float32() + c }
+
+// MaxValue is the largest finite binary16 value.
+func MaxValue() float32 { return maxFinite }
+
+// SliceFromFloat32 rounds every element of src into a new []Num.
+func SliceFromFloat32(src []float32) []Num {
+	dst := make([]Num, len(src))
+	for i, v := range src {
+		dst[i] = FromFloat32(v)
+	}
+	return dst
+}
+
+// SliceToFloat32 widens every element of src into a new []float32.
+func SliceToFloat32(src []Num) []float32 {
+	dst := make([]float32, len(src))
+	for i, v := range src {
+		dst[i] = v.Float32()
+	}
+	return dst
+}

@@ -1,0 +1,187 @@
+package fp16
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactValues(t *testing.T) {
+	cases := []struct {
+		f    float32
+		bits Num
+	}{
+		{0, 0x0000},
+		{1, 0x3C00},
+		{-1, 0xBC00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7BFF},           // max finite
+		{6.103515625e-05, 0x0400}, // min normal
+		{5.960464477539063e-8, 0x0001},
+		{0.333251953125, 0x3555}, // nearest half to 1/3
+	}
+	for _, c := range cases {
+		if got := FromFloat32(c.f); got != c.bits {
+			t.Errorf("FromFloat32(%v) = %#04x, want %#04x", c.f, got, c.bits)
+		}
+		if got := c.bits.Float32(); got != c.f {
+			t.Errorf("(%#04x).Float32() = %v, want %v", c.bits, got, c.f)
+		}
+	}
+}
+
+func TestNegativeZero(t *testing.T) {
+	n := FromFloat32(float32(math.Copysign(0, -1)))
+	if n != 0x8000 {
+		t.Fatalf("negative zero = %#04x, want 0x8000", n)
+	}
+	f := n.Float32()
+	if f != 0 || !math.Signbit(float64(f)) {
+		t.Fatalf("round trip of -0 lost the sign: %v", f)
+	}
+}
+
+func TestSpecials(t *testing.T) {
+	inf := FromFloat32(float32(math.Inf(1)))
+	if !inf.IsInf() || inf != infBits {
+		t.Errorf("+Inf = %#04x", inf)
+	}
+	ninf := FromFloat32(float32(math.Inf(-1)))
+	if !ninf.IsInf() || ninf != signMask|infBits {
+		t.Errorf("-Inf = %#04x", ninf)
+	}
+	nan := FromFloat32(float32(math.NaN()))
+	if !nan.IsNaN() {
+		t.Errorf("NaN = %#04x not NaN", nan)
+	}
+	if !float32IsNaN(nan.Float32()) {
+		t.Errorf("NaN did not round trip")
+	}
+	// Overflow saturates to infinity.
+	if got := FromFloat32(65520); !got.IsInf() {
+		t.Errorf("65520 should overflow to Inf, got %#04x", got)
+	}
+	// 65519.996... rounds down to max finite; 65504+16=65520 is the midpoint
+	// and rounds to even (infinity), per IEEE.
+	if got := FromFloat32(65519); !got.IsInf() {
+		// 65519 > 65504+8? midpoint between 65504 and Inf-step is 65520.
+		// 65519 < 65520 so it must round DOWN to 65504.
+		if got != 0x7BFF {
+			t.Errorf("65519 = %#04x, want 0x7BFF", got)
+		}
+	}
+	// Underflow to zero.
+	if got := FromFloat32(1e-9); got != 0 {
+		t.Errorf("1e-9 = %#04x, want 0", got)
+	}
+}
+
+func float32IsNaN(f float32) bool { return f != f }
+
+// Every binary16 pattern must round-trip bit-exactly through float32
+// (except that NaN payloads only need to stay NaN).
+func TestAllPatternsRoundTrip(t *testing.T) {
+	for i := 0; i <= 0xFFFF; i++ {
+		n := Num(i)
+		f := n.Float32()
+		back := FromFloat32(f)
+		if n.IsNaN() {
+			if !back.IsNaN() {
+				t.Fatalf("%#04x: NaN round trip lost NaN-ness", i)
+			}
+			continue
+		}
+		if back != n {
+			t.Fatalf("%#04x -> %v -> %#04x", i, f, back)
+		}
+	}
+}
+
+// Conversion must be monotonic: a <= b  =>  half(a) <= half(b).
+func TestMonotonicConversion(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		a := float32(rng.NormFloat64() * 100)
+		b := float32(rng.NormFloat64() * 100)
+		if a > b {
+			a, b = b, a
+		}
+		fa, fb := Round(a), Round(b)
+		if fa > fb {
+			t.Fatalf("monotonicity violated: %v<=%v but %v>%v", a, b, fa, fb)
+		}
+	}
+}
+
+// Round-to-nearest: the rounded value must be within half a ULP.
+func TestRoundingError(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 5000}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := float32(rng.NormFloat64())
+		if f == 0 {
+			return true
+		}
+		r := Round(f)
+		// relative error bound for normals: 2^-11
+		rel := math.Abs(float64(r-f)) / math.Abs(float64(f))
+		return rel <= math.Pow(2, -11)+1e-12 || math.Abs(float64(f)) < minNormal
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundNearestEven(t *testing.T) {
+	// 2048 and 2050 are representable; 2049 is exactly between and must go
+	// to the even mantissa (2048).
+	if got := Round(2049); got != 2048 {
+		t.Errorf("Round(2049) = %v, want 2048", got)
+	}
+	if got := Round(2051); got != 2052 {
+		t.Errorf("Round(2051) = %v, want 2052", got)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	a, b := FromFloat32(1.5), FromFloat32(2.25)
+	if got := Add(a, b).Float32(); got != 3.75 {
+		t.Errorf("1.5+2.25 = %v", got)
+	}
+	if got := Mul(a, b).Float32(); got != 3.375 {
+		t.Errorf("1.5*2.25 = %v", got)
+	}
+	if got := FMA(a, b, 1); got != 4.375 {
+		t.Errorf("fma = %v", got)
+	}
+	if got := a.Neg().Float32(); got != -1.5 {
+		t.Errorf("neg = %v", got)
+	}
+}
+
+func TestSliceHelpers(t *testing.T) {
+	src := []float32{0, 1, -2, 3.5}
+	ns := SliceFromFloat32(src)
+	back := SliceToFloat32(ns)
+	for i := range src {
+		if back[i] != src[i] {
+			t.Errorf("slice round trip [%d]: %v != %v", i, back[i], src[i])
+		}
+	}
+}
+
+func BenchmarkFromFloat32(b *testing.B) {
+	vals := make([]float32, 1024)
+	rng := rand.New(rand.NewSource(7))
+	for i := range vals {
+		vals[i] = float32(rng.NormFloat64())
+	}
+	b.ResetTimer()
+	var sink Num
+	for i := 0; i < b.N; i++ {
+		sink = FromFloat32(vals[i&1023])
+	}
+	_ = sink
+}

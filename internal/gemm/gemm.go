@@ -1,0 +1,128 @@
+// Package gemm implements the general matrix multiplication kernels used to
+// compute lowered convolutions (Fig. 1(b)): an fp32 reference, a
+// cache-blocked fp32 kernel, and a functional emulation of the tensor-core
+// datapath (half-precision operands, fp32 accumulation, 16x16x16 tile
+// steps) matching the wmma semantics described in §II-B.
+package gemm
+
+import (
+	"fmt"
+
+	"duplo/internal/fp16"
+	"duplo/internal/tensor"
+)
+
+// Tile is the tensor-core tile edge.
+const Tile = 16
+
+// Reference computes D = A * B with the naive triple loop. A is MxK,
+// B is KxN, D is MxN. Strides are honored, so padded workspaces work.
+func Reference(a, b *tensor.Matrix) (*tensor.Matrix, error) {
+	if a.Cols > b.Rows {
+		return nil, fmt.Errorf("gemm: inner dims %d vs %d", a.Cols, b.Rows)
+	}
+	d := tensor.NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Row(i)
+		dr := d.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			av := ar[k]
+			if av == 0 {
+				continue
+			}
+			br := b.Row(k)
+			for j := range dr {
+				dr[j] += av * br[j]
+			}
+		}
+	}
+	return d, nil
+}
+
+// Blocked computes D = A * B with simple cache blocking. It produces the
+// same result as Reference (up to fp32 association order) but runs several
+// times faster on large matrices; functional convolution tests use it.
+func Blocked(a, b *tensor.Matrix) (*tensor.Matrix, error) {
+	if a.Cols > b.Rows {
+		return nil, fmt.Errorf("gemm: inner dims %d vs %d", a.Cols, b.Rows)
+	}
+	const bs = 64
+	d := tensor.NewMatrix(a.Rows, b.Cols)
+	for i0 := 0; i0 < a.Rows; i0 += bs {
+		i1 := min(i0+bs, a.Rows)
+		for k0 := 0; k0 < a.Cols; k0 += bs {
+			k1 := min(k0+bs, a.Cols)
+			for i := i0; i < i1; i++ {
+				ar := a.Row(i)
+				dr := d.Row(i)
+				for k := k0; k < k1; k++ {
+					av := ar[k]
+					if av == 0 {
+						continue
+					}
+					br := b.Row(k)
+					for j := range dr {
+						dr[j] += av * br[j]
+					}
+				}
+			}
+		}
+	}
+	return d, nil
+}
+
+// TensorCore computes D = A * B emulating the tensor-core datapath:
+// operands are rounded to binary16 before multiplication and products are
+// accumulated in fp32, processed as 16x16x16 MMA tile steps in the same
+// order a wmma kernel sweeps them (k-inner). Dimensions must be multiples
+// of Tile (use the padded workspace dims).
+func TensorCore(a, b *tensor.Matrix) (*tensor.Matrix, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("gemm: tensor-core inner dims %d vs %d", a.Cols, b.Rows)
+	}
+	if a.Rows%Tile != 0 || a.Cols%Tile != 0 || b.Cols%Tile != 0 {
+		return nil, fmt.Errorf("gemm: tensor-core dims %dx%dx%d not multiples of %d",
+			a.Rows, a.Cols, b.Cols, Tile)
+	}
+	d := tensor.NewMatrix(a.Rows, b.Cols)
+	var at, bt [Tile][Tile]float32
+	for ti := 0; ti < a.Rows; ti += Tile {
+		for tj := 0; tj < b.Cols; tj += Tile {
+			var acc [Tile][Tile]float32
+			for tk := 0; tk < a.Cols; tk += Tile {
+				// Load fragments with operand conversion to half.
+				for r := 0; r < Tile; r++ {
+					ar := a.Row(ti + r)[tk : tk+Tile]
+					for c := 0; c < Tile; c++ {
+						at[r][c] = fp16.Round(ar[c])
+					}
+					br := b.Row(tk + r)[tj : tj+Tile]
+					for c := 0; c < Tile; c++ {
+						bt[r][c] = fp16.Round(br[c])
+					}
+				}
+				// 16x16x16 MMA: FEDP-style fp32 accumulation.
+				for r := 0; r < Tile; r++ {
+					for c := 0; c < Tile; c++ {
+						s := acc[r][c]
+						for k := 0; k < Tile; k++ {
+							s += at[r][k] * bt[k][c]
+						}
+						acc[r][c] = s
+					}
+				}
+			}
+			for r := 0; r < Tile; r++ {
+				copy(d.Row(ti + r)[tj:tj+Tile], acc[r][:])
+			}
+		}
+	}
+	return d, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

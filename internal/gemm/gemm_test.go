@@ -1,0 +1,201 @@
+package gemm
+
+import (
+	"math/rand"
+	"testing"
+
+	"duplo/internal/tensor"
+)
+
+func randomMatrix(rows, cols int, seed int64) *tensor.Matrix {
+	m := tensor.NewMatrix(rows, cols)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64())
+	}
+	return m
+}
+
+func TestReferenceSmall(t *testing.T) {
+	a := tensor.NewMatrix(2, 3)
+	copy(a.Data, []float32{1, 2, 3, 4, 5, 6})
+	b := tensor.NewMatrix(3, 2)
+	copy(b.Data, []float32{7, 8, 9, 10, 11, 12})
+	d, err := Reference(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{58, 64, 139, 154}
+	for i, w := range want {
+		if d.Data[i] != w {
+			t.Errorf("d[%d] = %v, want %v", i, d.Data[i], w)
+		}
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	n := 8
+	a := randomMatrix(n, n, 1)
+	id := tensor.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		id.Set(i, i, 1)
+	}
+	d, err := Reference(a, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MaxAbsDiff(a) != 0 {
+		t.Error("A*I != A")
+	}
+}
+
+func TestBlockedMatchesReference(t *testing.T) {
+	for _, dims := range [][3]int{{5, 7, 3}, {64, 64, 64}, {100, 33, 17}, {1, 1, 1}, {130, 70, 90}} {
+		a := randomMatrix(dims[0], dims[1], int64(dims[0]))
+		b := randomMatrix(dims[1], dims[2], int64(dims[1]))
+		ref, err := Reference(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blk, err := Blocked(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := ref.MaxAbsDiff(blk); d > 1e-3 {
+			t.Errorf("%v: blocked differs by %v", dims, d)
+		}
+	}
+}
+
+func TestTensorCoreMatchesReferenceWithinHalfPrecision(t *testing.T) {
+	a := randomMatrix(32, 48, 5)
+	b := randomMatrix(48, 32, 6)
+	ref, _ := Reference(a, b)
+	tc, err := TensorCore(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half-precision operand rounding: relative error ~ 2^-11 * sqrt(K).
+	var maxRel float64
+	for i := range ref.Data {
+		d := float64(ref.Data[i] - tc.Data[i])
+		if d < 0 {
+			d = -d
+		}
+		rel := d / (1 + abs64(float64(ref.Data[i])))
+		if rel > maxRel {
+			maxRel = rel
+		}
+	}
+	if maxRel > 0.05 {
+		t.Errorf("tensor-core max rel err %v", maxRel)
+	}
+	if maxRel == 0 {
+		t.Error("expected some half-precision rounding error")
+	}
+}
+
+func abs64(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+func TestTensorCoreDimValidation(t *testing.T) {
+	a := randomMatrix(17, 16, 1)
+	b := randomMatrix(16, 16, 2)
+	if _, err := TensorCore(a, b); err == nil {
+		t.Error("expected dim error for non-tile rows")
+	}
+	a = randomMatrix(16, 16, 1)
+	b = randomMatrix(32, 16, 2)
+	if _, err := TensorCore(a, b); err == nil {
+		t.Error("expected inner-dim mismatch error")
+	}
+}
+
+func TestReferenceInnerDimError(t *testing.T) {
+	a := tensor.NewMatrix(2, 5)
+	b := tensor.NewMatrix(3, 2)
+	if _, err := Reference(a, b); err == nil {
+		t.Error("expected error: A cols exceed B rows")
+	}
+}
+
+func TestPadAndCrop(t *testing.T) {
+	m := randomMatrix(5, 7, 9)
+	p := PadToTiles(m)
+	if p.Rows != 16 || p.Cols != 16 {
+		t.Fatalf("padded dims %dx%d", p.Rows, p.Cols)
+	}
+	for r := 0; r < 5; r++ {
+		for c := 0; c < 7; c++ {
+			if p.At(r, c) != m.At(r, c) {
+				t.Fatal("pad corrupted data")
+			}
+		}
+	}
+	if p.At(5, 0) != 0 || p.At(0, 7) != 0 {
+		t.Fatal("padding not zero")
+	}
+	back := CropMatrix(p, 5, 7)
+	if back.MaxAbsDiff(m) != 0 {
+		t.Fatal("crop mismatch")
+	}
+	// Already aligned matrices are returned as-is.
+	q := randomMatrix(16, 32, 3)
+	if PadToTiles(q) != q {
+		t.Error("aligned matrix should not be copied")
+	}
+}
+
+func TestPadMatrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PadMatrix(randomMatrix(4, 4, 1), 2, 4)
+}
+
+// Associativity-free property: (A*B)*e_j column equals A*(B e_j).
+func TestColumnExtraction(t *testing.T) {
+	a := randomMatrix(8, 8, 11)
+	b := randomMatrix(8, 8, 12)
+	d, _ := Reference(a, b)
+	// Multiply by basis vector via a 8x1 matrix.
+	for j := 0; j < 8; j++ {
+		e := tensor.NewMatrix(8, 1)
+		e.Set(j, 0, 1)
+		col, _ := Reference(b, e) // B e_j
+		dcol, _ := Reference(a, col)
+		for i := 0; i < 8; i++ {
+			if diff := abs64(float64(d.At(i, j) - dcol.At(i, 0))); diff > 1e-4 {
+				t.Fatalf("column %d mismatch %v", j, diff)
+			}
+		}
+	}
+}
+
+func BenchmarkBlocked128(b *testing.B) {
+	a := randomMatrix(128, 128, 1)
+	bb := randomMatrix(128, 128, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Blocked(a, bb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTensorCore128(b *testing.B) {
+	a := randomMatrix(128, 128, 1)
+	bb := randomMatrix(128, 128, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TensorCore(a, bb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

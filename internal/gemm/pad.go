@@ -1,0 +1,39 @@
+package gemm
+
+import "duplo/internal/tensor"
+
+// PadMatrix returns a rows x cols zero-padded copy of m (rows >= m.Rows,
+// cols >= m.Cols). Tensor-core GEMM requires tile-aligned dimensions; real
+// kernels do the same padding when staging operands.
+func PadMatrix(m *tensor.Matrix, rows, cols int) *tensor.Matrix {
+	if rows < m.Rows || cols < m.Cols {
+		panic("gemm: PadMatrix target smaller than source")
+	}
+	out := tensor.NewMatrix(rows, cols)
+	for r := 0; r < m.Rows; r++ {
+		copy(out.Row(r)[:m.Cols], m.Row(r))
+	}
+	return out
+}
+
+// PadToTiles pads m so both dimensions are multiples of Tile.
+func PadToTiles(m *tensor.Matrix) *tensor.Matrix {
+	r := (m.Rows + Tile - 1) / Tile * Tile
+	c := (m.Cols + Tile - 1) / Tile * Tile
+	if r == m.Rows && c == m.Cols && m.Stride == m.Cols {
+		return m
+	}
+	return PadMatrix(m, r, c)
+}
+
+// CropMatrix returns the rows x cols top-left submatrix of m as a copy.
+func CropMatrix(m *tensor.Matrix, rows, cols int) *tensor.Matrix {
+	if rows > m.Rows || cols > m.Cols {
+		panic("gemm: CropMatrix target larger than source")
+	}
+	out := tensor.NewMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		copy(out.Row(r), m.Row(r)[:cols])
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package lowering
+
+import (
+	"duplo/internal/conv"
+	"duplo/internal/gemm"
+	"duplo/internal/tensor"
+)
+
+// GemmConv computes the convolution by explicit lowering followed by a
+// blocked fp32 GEMM — the "GEMM-based convolution" of Fig. 1(b) running on
+// conventional CUDA cores. The M x N GEMM result reshapes directly into the
+// NHWC output because workspace rows are ordered (n, oy, ox) and columns are
+// the K filters.
+func GemmConv(p conv.Params, input, filters *tensor.Tensor) (*tensor.Tensor, error) {
+	l, err := Lower(p, input, filters)
+	if err != nil {
+		return nil, err
+	}
+	d, err := gemm.Blocked(l.A, l.B)
+	if err != nil {
+		return nil, err
+	}
+	return reshapeToOutput(p, d, l.N), nil
+}
+
+// TensorCoreConv computes the convolution with the functional tensor-core
+// GEMM emulation: half-precision operands, fp32 accumulation, 16x16x16 MMA
+// steps (§II-B). Operand rounding makes the result differ from the fp32
+// reference by the expected half-precision error, which the tests bound.
+func TensorCoreConv(p conv.Params, input, filters *tensor.Tensor) (*tensor.Tensor, error) {
+	l, err := Lower(p, input, filters)
+	if err != nil {
+		return nil, err
+	}
+	// Tile-align M; K and N are already padded by Lower.
+	mp := RoundUp(l.M, Tile)
+	a := l.A
+	// View A through its padded pitch so Cols == KPad, then pad rows.
+	av := &tensor.Matrix{Rows: a.Rows, Cols: l.KPad, Stride: a.Stride, Data: a.Data}
+	ap := gemm.PadMatrix(av, mp, l.KPad)
+	// View B through its padded pitch so Cols == NPad.
+	bv := &tensor.Matrix{Rows: l.KPad, Cols: l.NPad, Stride: l.B.Stride, Data: l.B.Data}
+	d, err := gemm.TensorCore(ap, bv)
+	if err != nil {
+		return nil, err
+	}
+	return reshapeToOutput(p, gemm.CropMatrix(d, l.M, l.N), l.N), nil
+}
+
+func reshapeToOutput(p conv.Params, d *tensor.Matrix, n int) *tensor.Tensor {
+	out := p.NewOutput()
+	for r := 0; r < p.GemmM(); r++ {
+		copy(out.Data[r*n:(r+1)*n], d.Row(r)[:n])
+	}
+	return out
+}

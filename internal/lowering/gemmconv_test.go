@@ -1,0 +1,92 @@
+package lowering
+
+import (
+	"testing"
+
+	"duplo/internal/conv"
+	"duplo/internal/tensor"
+)
+
+var testLayers = []conv.Params{
+	{N: 1, H: 4, W: 4, C: 1, K: 1, FH: 3, FW: 3, Pad: 0, Stride: 1},   // Fig. 1
+	{N: 2, H: 8, W: 8, C: 4, K: 8, FH: 3, FW: 3, Pad: 1, Stride: 1},   // ResNet-like
+	{N: 1, H: 9, W: 9, C: 3, K: 4, FH: 3, FW: 3, Pad: 0, Stride: 2},   // strided
+	{N: 2, H: 8, W: 8, C: 2, K: 3, FH: 5, FW: 5, Pad: 2, Stride: 2},   // GAN-like
+	{N: 1, H: 12, W: 10, C: 5, K: 7, FH: 7, FW: 7, Pad: 3, Stride: 2}, // ResNet C1-like
+	{N: 1, H: 6, W: 6, C: 16, K: 16, FH: 1, FW: 1, Pad: 0, Stride: 1}, // pointwise
+}
+
+// GEMM-based convolution must equal direct convolution exactly up to fp32
+// reassociation error.
+func TestGemmConvMatchesDirect(t *testing.T) {
+	for _, p := range testLayers {
+		in := tensor.New(p.N, p.H, p.W, p.C)
+		in.FillRandom(41, 1)
+		f := tensor.New(p.K, p.FH, p.FW, p.C)
+		f.FillRandom(42, 0.5)
+		want, err := conv.Direct(p, in, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := GemmConv(p, in, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.SameShape(want) {
+			t.Fatalf("%v: shape %s vs %s", p, got.ShapeString(), want.ShapeString())
+		}
+		if d := got.RelErr(want); d > 1e-4 {
+			t.Errorf("%v: GemmConv rel err %v", p, d)
+		}
+	}
+}
+
+// Tensor-core convolution agrees with direct convolution within
+// half-precision tolerance. The error scales with sqrt(K); 1e-2 relative is
+// comfortably above the expected bound for the small test layers and far
+// below any wrong-result signature.
+func TestTensorCoreConvMatchesDirect(t *testing.T) {
+	for _, p := range testLayers {
+		in := tensor.New(p.N, p.H, p.W, p.C)
+		in.FillRandom(51, 0.5)
+		f := tensor.New(p.K, p.FH, p.FW, p.C)
+		f.FillRandom(52, 0.5)
+		want, err := conv.Direct(p, in, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := TensorCoreConv(p, in, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := got.RelErr(want); d > 1e-2 {
+			t.Errorf("%v: TensorCoreConv rel err %v", p, d)
+		}
+	}
+}
+
+// Transposed convolutions computed through the lowering path (zero-dilated
+// direct equivalent) must match the scatter reference — this is how GAN's TC
+// layers run on the simulated tensor cores.
+func TestTransposedViaGemm(t *testing.T) {
+	p := conv.Params{N: 1, H: 4, W: 4, C: 3, K: 2, FH: 5, FW: 5, Pad: 2, Stride: 2}
+	in := tensor.New(p.N, p.H, p.W, p.C)
+	in.FillRandom(61, 1)
+	f := tensor.New(p.K, p.FH, p.FW, p.C)
+	f.FillRandom(62, 0.5)
+	want, err := conv.Transposed(p, in, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, dil, flip, err := conv.ToDirect(p, in, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := GemmConv(dp, dil, flip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := got.RelErr(want); d > 1e-4 {
+		t.Errorf("transposed-via-GEMM rel err %v", d)
+	}
+}

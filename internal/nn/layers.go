@@ -1,0 +1,237 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"duplo/internal/tensor"
+)
+
+// ReLU applies max(0, x) elementwise.
+type ReLU struct{}
+
+// Name implements Layer.
+func (ReLU) Name() string { return "relu" }
+
+// OutShape implements Layer.
+func (ReLU) OutShape(n, h, w, c int) (int, int, int, int, error) { return n, h, w, c, nil }
+
+// Forward implements Layer.
+func (ReLU) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
+	out := in.Clone()
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = 0
+		}
+	}
+	return out, nil
+}
+
+// LeakyReLU applies x<0 ? alpha*x : x (YOLO's activation).
+type LeakyReLU struct{ Alpha float32 }
+
+// Name implements Layer.
+func (l LeakyReLU) Name() string { return fmt.Sprintf("leaky_relu(%.2f)", l.Alpha) }
+
+// OutShape implements Layer.
+func (LeakyReLU) OutShape(n, h, w, c int) (int, int, int, int, error) { return n, h, w, c, nil }
+
+// Forward implements Layer.
+func (l LeakyReLU) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
+	out := in.Clone()
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = l.Alpha * v
+		}
+	}
+	return out, nil
+}
+
+// MaxPool downsamples with a Size x Size window and matching stride.
+type MaxPool struct{ Size int }
+
+// Name implements Layer.
+func (p MaxPool) Name() string { return fmt.Sprintf("maxpool %dx%d", p.Size, p.Size) }
+
+// OutShape implements Layer.
+func (p MaxPool) OutShape(n, h, w, c int) (int, int, int, int, error) {
+	if p.Size <= 0 || h < p.Size || w < p.Size {
+		return 0, 0, 0, 0, fmt.Errorf("maxpool %d on %dx%d", p.Size, h, w)
+	}
+	return n, h / p.Size, w / p.Size, c, nil
+}
+
+// Forward implements Layer.
+func (p MaxPool) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
+	_, oh, ow, _, err := p.OutShape(in.N, in.H, in.W, in.C)
+	if err != nil {
+		return nil, err
+	}
+	out := tensor.New(in.N, oh, ow, in.C)
+	for n := 0; n < in.N; n++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				for c := 0; c < in.C; c++ {
+					best := float32(math.Inf(-1))
+					for dy := 0; dy < p.Size; dy++ {
+						for dx := 0; dx < p.Size; dx++ {
+							if v := in.At(n, y*p.Size+dy, x*p.Size+dx, c); v > best {
+								best = v
+							}
+						}
+					}
+					out.Set(n, y, x, c, best)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// GlobalAvgPool reduces each channel plane to its mean (1x1 spatial).
+type GlobalAvgPool struct{}
+
+// Name implements Layer.
+func (GlobalAvgPool) Name() string { return "global_avg_pool" }
+
+// OutShape implements Layer.
+func (GlobalAvgPool) OutShape(n, h, w, c int) (int, int, int, int, error) { return n, 1, 1, c, nil }
+
+// Forward implements Layer.
+func (GlobalAvgPool) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
+	out := tensor.New(in.N, 1, 1, in.C)
+	inv := 1 / float32(in.H*in.W)
+	for n := 0; n < in.N; n++ {
+		for y := 0; y < in.H; y++ {
+			for x := 0; x < in.W; x++ {
+				for c := 0; c < in.C; c++ {
+					out.Data[out.Index(n, 0, 0, c)] += in.At(n, y, x, c) * inv
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Dense is a fully connected layer on flattened input (1x1 spatial in and
+// out; implemented as a 1x1 convolution would be equivalent, kept separate
+// for clarity).
+type Dense struct {
+	In, Out int
+	W       []float32 // Out x In, row-major
+	B       []float32 // Out
+}
+
+// NewDense builds a dense layer with deterministic random weights.
+func NewDense(in, out int, seed int64) *Dense {
+	t := tensor.New(1, 1, out, in)
+	t.FillRandom(seed, float32(math.Sqrt(2/float64(in))))
+	return &Dense{In: in, Out: out, W: t.Data, B: make([]float32, out)}
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return fmt.Sprintf("dense %d->%d", d.In, d.Out) }
+
+// OutShape implements Layer.
+func (d *Dense) OutShape(n, h, w, c int) (int, int, int, int, error) {
+	if h*w*c != d.In {
+		return 0, 0, 0, 0, fmt.Errorf("dense expects %d features, got %dx%dx%d", d.In, h, w, c)
+	}
+	return n, 1, 1, d.Out, nil
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
+	feats := in.H * in.W * in.C
+	if feats != d.In {
+		return nil, fmt.Errorf("dense expects %d features, got %d", d.In, feats)
+	}
+	out := tensor.New(in.N, 1, 1, d.Out)
+	for n := 0; n < in.N; n++ {
+		x := in.Data[n*feats : (n+1)*feats]
+		for o := 0; o < d.Out; o++ {
+			acc := d.B[o]
+			row := d.W[o*d.In : (o+1)*d.In]
+			for i, v := range x {
+				acc += row[i] * v
+			}
+			out.Set(n, 0, 0, o, acc)
+		}
+	}
+	return out, nil
+}
+
+// Softmax normalizes the channel dimension into a probability distribution
+// per (n, y, x) position.
+type Softmax struct{}
+
+// Name implements Layer.
+func (Softmax) Name() string { return "softmax" }
+
+// OutShape implements Layer.
+func (Softmax) OutShape(n, h, w, c int) (int, int, int, int, error) { return n, h, w, c, nil }
+
+// Forward implements Layer.
+func (Softmax) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
+	out := in.Clone()
+	for i := 0; i < len(out.Data); i += out.C {
+		seg := out.Data[i : i+out.C]
+		max := seg[0]
+		for _, v := range seg {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		for j, v := range seg {
+			e := math.Exp(float64(v - max))
+			seg[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := range seg {
+			seg[j] *= inv
+		}
+	}
+	return out, nil
+}
+
+// BatchNorm applies a frozen (inference-time) per-channel affine
+// normalization.
+type BatchNorm struct {
+	Scale, Shift []float32 // per channel
+}
+
+// NewBatchNorm builds an identity batch norm for c channels.
+func NewBatchNorm(c int) *BatchNorm {
+	s := make([]float32, c)
+	for i := range s {
+		s[i] = 1
+	}
+	return &BatchNorm{Scale: s, Shift: make([]float32, c)}
+}
+
+// Name implements Layer.
+func (b *BatchNorm) Name() string { return fmt.Sprintf("batchnorm(%d)", len(b.Scale)) }
+
+// OutShape implements Layer.
+func (b *BatchNorm) OutShape(n, h, w, c int) (int, int, int, int, error) {
+	if c != len(b.Scale) {
+		return 0, 0, 0, 0, fmt.Errorf("batchnorm channels %d != %d", c, len(b.Scale))
+	}
+	return n, h, w, c, nil
+}
+
+// Forward implements Layer.
+func (b *BatchNorm) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
+	if in.C != len(b.Scale) {
+		return nil, fmt.Errorf("batchnorm channels %d != %d", in.C, len(b.Scale))
+	}
+	out := in.Clone()
+	for i := 0; i < len(out.Data); i += out.C {
+		for c := 0; c < out.C; c++ {
+			out.Data[i+c] = out.Data[i+c]*b.Scale[c] + b.Shift[c]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,198 @@
+// Package nn is a small forward-pass neural-network substrate built on the
+// convolution kernels of this repository. The paper's Fig. 14 evaluates
+// whole networks ("pooling and softmax layers are not shown because they
+// account for infinitesimally small fraction of execution time"); this
+// package provides those surrounding layers so the examples can run
+// realistic end-to-end inference, with the convolution method selectable
+// (direct / GEMM / tensor-core GEMM / Winograd / FFT) and cross-validated.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"duplo/internal/conv"
+	"duplo/internal/fftconv"
+	"duplo/internal/lowering"
+	"duplo/internal/tensor"
+	"duplo/internal/winograd"
+)
+
+// ConvMethod selects the convolution implementation for Conv layers.
+type ConvMethod int
+
+const (
+	// Auto picks tensor-core GEMM (the paper's accelerated baseline).
+	Auto ConvMethod = iota
+	MethodDirect
+	MethodGEMM
+	MethodTensorCore
+	MethodWinograd
+	MethodFFT
+)
+
+// String names the method.
+func (m ConvMethod) String() string {
+	switch m {
+	case Auto:
+		return "auto"
+	case MethodDirect:
+		return "direct"
+	case MethodGEMM:
+		return "gemm"
+	case MethodTensorCore:
+		return "tensorcore"
+	case MethodWinograd:
+		return "winograd"
+	case MethodFFT:
+		return "fft"
+	}
+	return "?"
+}
+
+// Layer is one forward-pass stage.
+type Layer interface {
+	// Forward consumes the input tensor and produces the output.
+	Forward(in *tensor.Tensor) (*tensor.Tensor, error)
+	// Name describes the layer for summaries.
+	Name() string
+	// OutShape predicts the output shape for a given input shape.
+	OutShape(n, h, w, c int) (int, int, int, int, error)
+}
+
+// Network is an ordered layer list.
+type Network struct {
+	Layers []Layer
+}
+
+// Add appends layers.
+func (nw *Network) Add(ls ...Layer) *Network {
+	nw.Layers = append(nw.Layers, ls...)
+	return nw
+}
+
+// Forward runs the whole network.
+func (nw *Network) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
+	x := in
+	for i, l := range nw.Layers {
+		y, err := l.Forward(x)
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer %d (%s): %w", i, l.Name(), err)
+		}
+		x = y
+	}
+	return x, nil
+}
+
+// Summary lists layers with their output shapes for the given input.
+func (nw *Network) Summary(n, h, w, c int) (string, error) {
+	out := ""
+	for i, l := range nw.Layers {
+		var err error
+		n, h, w, c, err = l.OutShape(n, h, w, c)
+		if err != nil {
+			return "", fmt.Errorf("nn: layer %d (%s): %w", i, l.Name(), err)
+		}
+		out += fmt.Sprintf("%2d  %-28s -> %dx%dx%dx%d\n", i, l.Name(), n, h, w, c)
+	}
+	return out, nil
+}
+
+// Conv is a convolutional layer (optionally transposed) with a selectable
+// backend method.
+type Conv struct {
+	P          conv.Params
+	Filters    *tensor.Tensor
+	Bias       []float32 // per output channel, may be nil
+	Method     ConvMethod
+	Transposed bool
+}
+
+// NewConv builds a convolution layer with deterministic He-style random
+// weights.
+func NewConv(p conv.Params, method ConvMethod, seed int64) *Conv {
+	f := tensor.New(p.K, p.FH, p.FW, p.C)
+	scale := float32(math.Sqrt(2 / float64(p.FH*p.FW*p.C)))
+	f.FillRandom(seed, scale)
+	return &Conv{P: p, Filters: f, Method: method}
+}
+
+// Name implements Layer.
+func (l *Conv) Name() string {
+	kind := "conv"
+	if l.Transposed {
+		kind = "convT"
+	}
+	return fmt.Sprintf("%s %dx%d s%d p%d %d->%d (%s)",
+		kind, l.P.FH, l.P.FW, l.P.Stride, l.P.Pad, l.P.C, l.P.K, l.Method)
+}
+
+// OutShape implements Layer.
+func (l *Conv) OutShape(n, h, w, c int) (int, int, int, int, error) {
+	if c != l.P.C {
+		return 0, 0, 0, 0, fmt.Errorf("channel mismatch: %d != %d", c, l.P.C)
+	}
+	p := l.P
+	p.N, p.H, p.W = n, h, w
+	if l.Transposed {
+		dp := conv.TransposedEquivalentParams(p)
+		return n, dp.OutH(), dp.OutW(), p.K, nil
+	}
+	if err := p.Validate(); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	return n, p.OutH(), p.OutW(), p.K, nil
+}
+
+// Forward implements Layer.
+func (l *Conv) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
+	p := l.P
+	p.N, p.H, p.W = in.N, in.H, in.W
+	var out *tensor.Tensor
+	var err error
+	if l.Transposed {
+		dp, dil, flip, terr := conv.ToDirect(p, in, l.Filters)
+		if terr != nil {
+			return nil, terr
+		}
+		out, err = runMethod(l.Method, dp, dil, flip)
+	} else {
+		out, err = runMethod(l.Method, p, in, l.Filters)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if l.Bias != nil {
+		if len(l.Bias) != out.C {
+			return nil, fmt.Errorf("bias length %d != channels %d", len(l.Bias), out.C)
+		}
+		for i := 0; i < len(out.Data); i += out.C {
+			for c := 0; c < out.C; c++ {
+				out.Data[i+c] += l.Bias[c]
+			}
+		}
+	}
+	return out, nil
+}
+
+func runMethod(m ConvMethod, p conv.Params, in, f *tensor.Tensor) (*tensor.Tensor, error) {
+	switch m {
+	case MethodDirect:
+		return conv.Direct(p, in, f)
+	case MethodGEMM:
+		return lowering.GemmConv(p, in, f)
+	case Auto, MethodTensorCore:
+		return lowering.TensorCoreConv(p, in, f)
+	case MethodWinograd:
+		if !winograd.Applicable(p) {
+			return nil, fmt.Errorf("winograd inapplicable for %v", p)
+		}
+		return winograd.Conv(p, in, f)
+	case MethodFFT:
+		if !fftconv.Applicable(p) {
+			return nil, fmt.Errorf("fft inapplicable for %v", p)
+		}
+		return fftconv.Conv(p, in, f)
+	}
+	return nil, fmt.Errorf("unknown method %d", m)
+}

@@ -1,0 +1,240 @@
+package nn
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"duplo/internal/conv"
+	"duplo/internal/tensor"
+)
+
+func smallNet(method ConvMethod) *Network {
+	nw := &Network{}
+	nw.Add(
+		NewConv(conv.Params{K: 8, FH: 3, FW: 3, C: 3, Pad: 1, Stride: 1, N: 1, H: 16, W: 16}, method, 1),
+		ReLU{},
+		MaxPool{Size: 2},
+		NewConv(conv.Params{K: 16, FH: 3, FW: 3, C: 8, Pad: 1, Stride: 1, N: 1, H: 8, W: 8}, method, 2),
+		ReLU{},
+		GlobalAvgPool{},
+		NewDense(16, 10, 3),
+		Softmax{},
+	)
+	return nw
+}
+
+func TestNetworkForwardShapes(t *testing.T) {
+	nw := smallNet(MethodGEMM)
+	in := tensor.New(2, 16, 16, 3)
+	in.FillRandom(4, 1)
+	out, err := nw.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.N != 2 || out.H != 1 || out.W != 1 || out.C != 10 {
+		t.Fatalf("output shape %s", out.ShapeString())
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s, err := smallNet(Auto).Summary(2, 16, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"conv 3x3", "maxpool", "dense 16->10", "softmax", "2x1x1x10"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// All convolution backends must produce the same network output within
+// numerical tolerance (half precision bounds the tensor-core path).
+func TestMethodEquivalence(t *testing.T) {
+	in := tensor.New(1, 16, 16, 3)
+	in.FillRandom(5, 0.5)
+	ref, err := smallNet(MethodDirect).Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []ConvMethod{MethodGEMM, MethodTensorCore, MethodWinograd, MethodFFT} {
+		got, err := smallNet(m).Forward(in)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		tol := 1e-4
+		if m == MethodTensorCore {
+			tol = 2e-2
+		}
+		if d := got.MaxAbsDiff(ref); d > tol {
+			t.Errorf("%v: network output differs by %v", m, d)
+		}
+	}
+}
+
+func TestSoftmaxDistribution(t *testing.T) {
+	in := tensor.New(2, 1, 1, 5)
+	in.FillRandom(6, 3)
+	out, err := (Softmax{}).Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 2; n++ {
+		var sum float64
+		for c := 0; c < 5; c++ {
+			v := out.At(n, 0, 0, c)
+			if v < 0 || v > 1 {
+				t.Fatalf("probability out of range: %v", v)
+			}
+			sum += float64(v)
+		}
+		if math.Abs(sum-1) > 1e-5 {
+			t.Fatalf("softmax sums to %v", sum)
+		}
+	}
+}
+
+func TestReLUAndLeaky(t *testing.T) {
+	in := tensor.FromSlice(1, 1, 1, 4, []float32{-2, -0.5, 0, 3})
+	out, _ := (ReLU{}).Forward(in)
+	want := []float32{0, 0, 0, 3}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Errorf("relu[%d] = %v", i, out.Data[i])
+		}
+	}
+	lout, _ := (LeakyReLU{Alpha: 0.1}).Forward(in)
+	lwant := []float32{-0.2, -0.05, 0, 3}
+	for i, w := range lwant {
+		if math.Abs(float64(lout.Data[i]-w)) > 1e-6 {
+			t.Errorf("leaky[%d] = %v, want %v", i, lout.Data[i], w)
+		}
+	}
+	// Input must be left untouched.
+	if in.Data[0] != -2 {
+		t.Error("activation mutated its input")
+	}
+}
+
+func TestMaxPool(t *testing.T) {
+	in := tensor.FromSlice(1, 2, 2, 1, []float32{1, 5, 3, 2})
+	out, err := (MaxPool{Size: 2}).Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.H != 1 || out.W != 1 || out.Data[0] != 5 {
+		t.Fatalf("maxpool = %v", out.Data)
+	}
+	if _, err := (MaxPool{Size: 4}).Forward(in); err == nil {
+		t.Error("oversized pool should fail")
+	}
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	in := tensor.FromSlice(1, 2, 2, 1, []float32{1, 2, 3, 6})
+	out, err := (GlobalAvgPool{}).Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(out.Data[0]-3)) > 1e-6 {
+		t.Fatalf("avg = %v", out.Data[0])
+	}
+}
+
+func TestDenseShapes(t *testing.T) {
+	d := NewDense(4, 2, 7)
+	in := tensor.New(3, 1, 2, 2)
+	in.FillRandom(8, 1)
+	out, err := d.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.N != 3 || out.C != 2 {
+		t.Fatalf("dense out %s", out.ShapeString())
+	}
+	bad := tensor.New(1, 1, 1, 3)
+	if _, err := d.Forward(bad); err == nil {
+		t.Error("feature mismatch should fail")
+	}
+}
+
+func TestBatchNormIdentityAndAffine(t *testing.T) {
+	bn := NewBatchNorm(2)
+	in := tensor.New(1, 2, 2, 2)
+	in.FillRandom(9, 1)
+	out, err := bn.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MaxAbsDiff(in) != 0 {
+		t.Error("identity batchnorm changed data")
+	}
+	bn.Scale[0] = 2
+	bn.Shift[1] = 1
+	out2, _ := bn.Forward(in)
+	if out2.At(0, 0, 0, 0) != 2*in.At(0, 0, 0, 0) {
+		t.Error("scale not applied")
+	}
+	if out2.At(0, 0, 0, 1) != in.At(0, 0, 0, 1)+1 {
+		t.Error("shift not applied")
+	}
+	if _, err := bn.Forward(tensor.New(1, 2, 2, 3)); err == nil {
+		t.Error("channel mismatch should fail")
+	}
+}
+
+func TestConvBias(t *testing.T) {
+	p := conv.Params{N: 1, H: 4, W: 4, C: 1, K: 2, FH: 1, FW: 1, Pad: 0, Stride: 1}
+	l := NewConv(p, MethodDirect, 11)
+	l.Bias = []float32{1, -1}
+	in := tensor.New(1, 4, 4, 1)
+	out, err := l.Forward(in) // zero input: output = bias
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0, 0, 0, 0) != 1 || out.At(0, 0, 0, 1) != -1 {
+		t.Fatalf("bias not applied: %v %v", out.At(0, 0, 0, 0), out.At(0, 0, 0, 1))
+	}
+}
+
+func TestTransposedConvLayer(t *testing.T) {
+	p := conv.Params{N: 1, H: 4, W: 4, C: 4, K: 2, FH: 5, FW: 5, Pad: 2, Stride: 2}
+	l := NewConv(p, MethodGEMM, 12)
+	l.Transposed = true
+	in := tensor.New(1, 4, 4, 4)
+	in.FillRandom(13, 1)
+	out, err := l.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.H != 8 || out.W != 8 || out.C != 2 {
+		t.Fatalf("transposed out %s", out.ShapeString())
+	}
+	// Against the scatter reference.
+	want, err := conv.Transposed(p, in, l.Filters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := out.RelErr(want); d > 1e-4 {
+		t.Errorf("transposed layer rel err %v", d)
+	}
+	// Shape prediction agrees.
+	_, oh, ow, oc, err := l.OutShape(1, 4, 4, 4)
+	if err != nil || oh != 8 || ow != 8 || oc != 2 {
+		t.Errorf("OutShape (%d,%d,%d) err %v", oh, ow, oc, err)
+	}
+}
+
+func TestInapplicableMethodErrors(t *testing.T) {
+	p := conv.Params{N: 1, H: 8, W: 8, C: 2, K: 2, FH: 5, FW: 5, Pad: 2, Stride: 2}
+	l := NewConv(p, MethodWinograd, 14)
+	in := tensor.New(1, 8, 8, 2)
+	if _, err := l.Forward(in); err == nil {
+		t.Error("winograd on 5x5 stride 2 should fail")
+	}
+	l.Method = MethodFFT
+	if _, err := l.Forward(in); err == nil {
+		t.Error("fft on stride 2 should fail")
+	}
+}

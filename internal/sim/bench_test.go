@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"testing"
+
+	duplo "duplo/internal/core"
+)
+
+// BenchmarkSimBaseline measures raw simulator throughput on the small test
+// layer (cycles simulated per wall second matter for experiment budgets).
+func BenchmarkSimBaseline(b *testing.B) {
+	k, err := NewConvKernel("bench", testLayer)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.MaxCTAs = 8
+	b.ResetTimer()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Cycles
+	}
+	b.ReportMetric(float64(cycles), "cycles")
+}
+
+// BenchmarkSimDuplo measures the Duplo-enabled path (detection-unit lookups
+// on every workspace row load).
+func BenchmarkSimDuplo(b *testing.B) {
+	k, err := NewConvKernel("bench", testLayer)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.MaxCTAs = 8
+	cfg.Duplo = true
+	cfg.DetectCfg.LHB = duplo.DefaultLHBConfig()
+	b.ResetTimer()
+	var imp float64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		imp = res.LHBHitRate()
+	}
+	b.ReportMetric(100*imp, "hit_rate_%")
+}
+
+func BenchmarkWarpProgramDecode(b *testing.B) {
+	k, _ := NewConvKernel("bench", testLayer)
+	prog := newWarpProgram(k, k.warpAssignments(0)[0])
+	b.ResetTimer()
+	var sink Instr
+	for i := 0; i < b.N; i++ {
+		sink = prog.At(i % prog.Len())
+	}
+	_ = sink
+}
+
+func BenchmarkLineSpan(b *testing.B) {
+	in := Instr{Addr: 0x1000, RowPitch: 1152, RowBytes: 32}
+	buf := make([]uint64, 0, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = lineSpan(buf[:0], in, 128)
+	}
+	_ = buf
+}

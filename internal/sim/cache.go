@@ -1,0 +1,147 @@
+package sim
+
+import "math/bits"
+
+// cacheArray is a functional set-associative tag array with LRU
+// replacement. Timing is handled by the callers (latency constants and port
+// serialization); the array answers only hit/miss and tracks residency.
+type cacheArray struct {
+	sets      int
+	ways      int
+	lineShift uint
+	tags      []uint64 // sets*ways, set-major; tag = line address
+	valid     []bool
+	lru       []int64
+	clock     int64
+}
+
+// newCacheArray builds an array for capacityBytes with the given geometry.
+// The set count is forced to a power of two (rounding down) so indexing is
+// a mask, as in the hardware.
+func newCacheArray(capacityBytes, lineBytes, ways int) *cacheArray {
+	lines := capacityBytes / lineBytes
+	if lines < ways {
+		ways = lines
+		if ways == 0 {
+			ways = 1
+		}
+	}
+	sets := lines / ways
+	// Round down to a power of two.
+	if sets == 0 {
+		sets = 1
+	}
+	sets = 1 << (bits.Len(uint(sets)) - 1)
+	return &cacheArray{
+		sets:      sets,
+		ways:      ways,
+		lineShift: uint(bits.TrailingZeros(uint(lineBytes))),
+		tags:      make([]uint64, sets*ways),
+		valid:     make([]bool, sets*ways),
+		lru:       make([]int64, sets*ways),
+	}
+}
+
+func (c *cacheArray) set(lineAddr uint64) int {
+	return int((lineAddr >> c.lineShift) & uint64(c.sets-1))
+}
+
+// Lookup probes for lineAddr, updating LRU on hit.
+func (c *cacheArray) Lookup(lineAddr uint64) bool {
+	c.clock++
+	s := c.set(lineAddr) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.valid[s+w] && c.tags[s+w] == lineAddr {
+			c.lru[s+w] = c.clock
+			return true
+		}
+	}
+	return false
+}
+
+// Insert fills lineAddr, evicting the LRU way if needed.
+func (c *cacheArray) Insert(lineAddr uint64) {
+	c.clock++
+	s := c.set(lineAddr) * c.ways
+	victim := s
+	oldest := int64(1) << 62
+	for w := 0; w < c.ways; w++ {
+		i := s + w
+		if !c.valid[i] {
+			victim = i
+			break
+		}
+		if c.lru[i] < oldest {
+			oldest = c.lru[i]
+			victim = i
+		}
+	}
+	c.tags[victim] = lineAddr
+	c.valid[victim] = true
+	c.lru[victim] = c.clock
+}
+
+// Capacity returns sets*ways lines.
+func (c *cacheArray) Capacity() int { return c.sets * c.ways }
+
+// memSystem is the shared part of the hierarchy: the L2 slice and the
+// DRAM bandwidth model behind it. Per-SM L1s live in smState.
+type memSystem struct {
+	cfg Config
+	l2  *cacheArray
+	// dramFree is the cycle the DRAM channel next accepts a transfer
+	// (bandwidth serialization over the simulated slice).
+	dramFree          int64
+	dramCyclesPerLine float64
+	dramFrac          float64 // fractional accumulation of transfer cycles
+	stats             *Stats
+}
+
+func newMemSystem(cfg Config, stats *Stats) *memSystem {
+	// Slice-scaled L2 capacity and DRAM bandwidth (Config.SimSMs doc).
+	l2Bytes := int(float64(cfg.L2KB<<10) * cfg.SliceScale())
+	bpc := cfg.DRAMBytesPerCycle() * cfg.SliceScale()
+	return &memSystem{
+		cfg:               cfg,
+		l2:                newCacheArray(l2Bytes, cfg.LineBytes, cfg.L2Ways),
+		dramCyclesPerLine: float64(cfg.LineBytes) / bpc,
+		stats:             stats,
+	}
+}
+
+// readLine handles an L1 miss arriving at the L2 at cycle t. It returns the
+// fill cycle and the level that supplied the data.
+func (m *memSystem) readLine(lineAddr uint64, t int64) (int64, ServiceLevel) {
+	m.stats.L2Accesses++
+	if m.l2.Lookup(lineAddr) {
+		m.stats.L2Hits++
+		return t + int64(m.cfg.L2LatencyCycles), ServiceL2
+	}
+	// DRAM: bandwidth-serialized transfer after the access latency.
+	start := t + int64(m.cfg.L2LatencyCycles)
+	if m.dramFree > start {
+		start = m.dramFree
+	}
+	m.dramFrac += m.dramCyclesPerLine
+	whole := int64(m.dramFrac)
+	m.dramFrac -= float64(whole)
+	m.dramFree = start + whole
+	fill := start + int64(m.cfg.DRAMLatencyCycles) + whole
+	m.stats.DRAMLines++
+	m.l2.Insert(lineAddr)
+	return fill, ServiceDRAM
+}
+
+// writeLine handles a write-through store line at cycle t: it consumes DRAM
+// bandwidth but completes immediately from the SM's perspective.
+func (m *memSystem) writeLine(t int64) {
+	start := t
+	if m.dramFree > start {
+		start = m.dramFree
+	}
+	m.dramFrac += m.dramCyclesPerLine
+	whole := int64(m.dramFrac)
+	m.dramFrac -= float64(whole)
+	m.dramFree = start + whole
+	m.stats.StoreLines++
+}

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"fmt"
+
+	duplo "duplo/internal/core"
+)
+
+// Result is the outcome of one kernel simulation.
+type Result struct {
+	Stats
+	// SimulatedCTAs is how many CTAs actually ran (MaxCTAs cap).
+	SimulatedCTAs int
+	// TotalCTAs is the full grid size.
+	TotalCTAs int
+	Kernel    *Kernel
+	Config    Config
+}
+
+// CyclesPerCTA normalizes runtime for cross-configuration comparison.
+func (r Result) CyclesPerCTA() float64 {
+	if r.SimulatedCTAs == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.SimulatedCTAs)
+}
+
+// gpuState drives the whole-chip simulation: CTA dispatch and the global
+// cycle loop.
+type gpuState struct {
+	cfg       Config
+	kernel    *Kernel
+	mem       *memSystem
+	sms       []*smState
+	nextCTA   int
+	totalCTAs int
+	launchSeq int64
+	ctasPerSM int
+}
+
+// ctaDone is called by an SM when a resident CTA finishes; the dispatcher
+// immediately backfills (a CTA scheduler assigning the next CTA to the freed
+// slot).
+func (g *gpuState) ctaDone(sm *smState, now int64) {
+	g.dispatchTo(sm)
+}
+
+func (g *gpuState) dispatchTo(sm *smState) {
+	for sm.resident < g.ctasPerSM && g.nextCTA < g.totalCTAs {
+		cta := g.nextCTA
+		g.nextCTA++
+		g.launchSeq++
+		sm.placeCTA(g.kernel, cta, g.launchSeq)
+	}
+}
+
+// maxSimCycles bounds runaway simulations (deadlock detection).
+const maxSimCycles = int64(4) << 30
+
+// Run simulates the kernel on the configured GPU and returns merged
+// statistics. With cfg.Duplo set, each SM gets a detection unit programmed
+// with the kernel's convolution information (no-op for plain GEMM kernels,
+// whose loads all bypass).
+func Run(cfg Config, k *Kernel) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	var merged Stats
+	mem := newMemSystem(cfg, &merged)
+	g := &gpuState{
+		cfg:       cfg,
+		kernel:    k,
+		mem:       mem,
+		totalCTAs: k.TotalCTAs(),
+		ctasPerSM: k.CTAsPerSM(cfg),
+	}
+	if cfg.MaxCTAs > 0 && g.totalCTAs > cfg.MaxCTAs {
+		g.totalCTAs = cfg.MaxCTAs
+	}
+	g.sms = make([]*smState, cfg.SimSMs)
+	for i := range g.sms {
+		sm := newSM(cfg, i, mem, g)
+		if cfg.Duplo {
+			du, err := duplo.NewDetectionUnit(cfg.DetectCfg, cfg.MaxWarpsPerSM, 32)
+			if err != nil {
+				return Result{}, err
+			}
+			if k.Conv != nil {
+				if err := du.Program(*k.Conv, k.Layout); err != nil {
+					return Result{}, err
+				}
+			}
+			sm.du = du
+		}
+		g.sms[i] = sm
+	}
+	// Initial dispatch.
+	for _, sm := range g.sms {
+		g.dispatchTo(sm)
+	}
+
+	var now int64
+	for {
+		busy := false
+		for _, sm := range g.sms {
+			sm.tick(now)
+			if sm.busy() {
+				busy = true
+			}
+		}
+		if !busy && g.nextCTA >= g.totalCTAs {
+			break
+		}
+		now++
+		if now > maxSimCycles {
+			return Result{}, fmt.Errorf("sim: exceeded %d cycles (deadlock?)", maxSimCycles)
+		}
+	}
+
+	for _, sm := range g.sms {
+		if sm.du != nil {
+			sm.stats.LHB = sm.du.LHBStats()
+			sm.stats.RenameCount = int64(sm.du.Renames().Renames)
+			sm.stats.AllocCount = int64(sm.du.Renames().Allocs)
+		}
+		merged.Add(sm.stats)
+	}
+	merged.Cycles = now
+	return Result{
+		Stats:         merged,
+		SimulatedCTAs: g.totalCTAs,
+		TotalCTAs:     k.TotalCTAs(),
+		Kernel:        k,
+		Config:        cfg,
+	}, nil
+}
+
+// Speedup returns (base cycles / duplo cycles) - 1 as the fractional
+// performance improvement (the Fig. 9 metric).
+func Speedup(base, duplo Result) float64 {
+	if duplo.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles)/float64(duplo.Cycles) - 1
+}

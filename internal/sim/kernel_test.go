@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"testing"
+
+	"duplo/internal/conv"
+	"duplo/internal/workload"
+)
+
+// GAN TC4 has K=3 filters -> NPad=16: only one 16-wide column tile exists,
+// so half of each CTA's warps (the wc=1 column) have no work.
+func TestTinyNKernel(t *testing.T) {
+	tc4, _ := workload.Find("GAN", "TC4")
+	k, err := NewConvKernel(tc4.FullName(), tc4.GemmParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.NPad != 16 {
+		t.Fatalf("NPad %d", k.NPad)
+	}
+	work := k.warpAssignments(0)
+	live := 0
+	for _, w := range work {
+		if len(w.rowTiles) > 0 && len(w.colTiles) > 0 {
+			live++
+			if len(w.colTiles) != 1 {
+				t.Fatalf("col tiles %d, want 1", len(w.colTiles))
+			}
+		}
+	}
+	if live != 4 {
+		t.Fatalf("live warps %d, want 4 (wc=0 column only)", live)
+	}
+	// The kernel must still simulate to completion.
+	cfg := testConfig()
+	cfg.MaxCTAs = 4
+	res, err := Run(cfg, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 || res.MMAs <= 0 {
+		t.Fatal("degenerate run")
+	}
+}
+
+// Edge CTA at the bottom of the grid: a kernel whose MPad is not a multiple
+// of the CTA tile leaves some warps of the last CTA without row tiles.
+func TestEdgeCTA(t *testing.T) {
+	// M = 1*6*6 = 36 -> MPad = 48: CTA covers 128 rows, only 3 row tiles.
+	p := conv.Params{N: 1, H: 6, W: 6, C: 16, K: 32, FH: 3, FW: 3, Pad: 1, Stride: 1}
+	k, err := NewConvKernel("edge", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.TotalCTAs() != 1 {
+		t.Fatalf("grid %d", k.TotalCTAs())
+	}
+	work := k.warpAssignments(0)
+	totalRowTiles := 0
+	for _, w := range work {
+		if len(w.colTiles) == 0 {
+			continue
+		}
+		totalRowTiles += len(w.rowTiles)
+	}
+	// MPad=48 -> 3 row tiles; NPad=32 -> only the wc=0 warp column has
+	// work, so 3 row-tile assignments in total.
+	if totalRowTiles != 3 {
+		t.Fatalf("row tile assignments %d, want 3", totalRowTiles)
+	}
+	res, err := Run(testConfig(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Work conservation: warp MMAs cover exactly MPad/16 x NPad/16 x KTiles.
+	wantMMA := int64(k.MPad/16) * int64(k.NPad/16) * int64(k.KTiles())
+	if res.MMAs != wantMMA {
+		t.Fatalf("MMAs %d, want %d", res.MMAs, wantMMA)
+	}
+	wantStores := int64(k.MPad/16) * int64(k.NPad/16)
+	if res.Stores != wantStores {
+		t.Fatalf("stores %d, want %d", res.Stores, wantStores)
+	}
+}
+
+// Work conservation on a multi-CTA grid with the CTA cap disabled.
+func TestWorkConservationFullGrid(t *testing.T) {
+	p := conv.Params{N: 1, H: 16, W: 16, C: 16, K: 48, FH: 3, FW: 3, Pad: 1, Stride: 1}
+	k, _ := NewConvKernel("full", p)
+	cfg := testConfig()
+	cfg.MaxCTAs = 0 // full grid
+	res, err := Run(cfg, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SimulatedCTAs != k.TotalCTAs() {
+		t.Fatalf("simulated %d of %d", res.SimulatedCTAs, k.TotalCTAs())
+	}
+	wantMMA := int64(k.MPad/16) * int64(k.NPad/16) * int64(k.KTiles())
+	if res.MMAs != wantMMA {
+		t.Fatalf("MMAs %d, want %d", res.MMAs, wantMMA)
+	}
+	// Loads: per warp per kstep, 2 octet copies per row tile and per col
+	// tile, each expanding to 16 row-vector loads. Expected count derived
+	// from the static warp assignments, independent of the issue logic.
+	var perKstep int64
+	for cta := 0; cta < k.TotalCTAs(); cta++ {
+		for _, w := range k.warpAssignments(cta) {
+			if len(w.rowTiles) == 0 || len(w.colTiles) == 0 {
+				continue
+			}
+			perKstep += int64(2*len(w.rowTiles) + 2*len(w.colTiles))
+		}
+	}
+	wantLoads := 16 * int64(k.KTiles()) * perKstep
+	if res.TensorLoads != wantLoads {
+		t.Fatalf("loads %d, want %d", res.TensorLoads, wantLoads)
+	}
+}
+
+func TestGemmKernelValidation(t *testing.T) {
+	if _, err := NewGemmKernel("bad", 0, 4, 4); err == nil {
+		t.Error("zero M should fail")
+	}
+	if _, err := NewConvKernel("bad", conv.Params{}); err == nil {
+		t.Error("invalid params should fail")
+	}
+}
+
+func TestTraceWarp(t *testing.T) {
+	k, _ := NewConvKernel("tr", testLayer)
+	insts, err := TraceWarp(k, 0, 0, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 25 {
+		t.Fatalf("got %d instructions", len(insts))
+	}
+	if insts[0].Op != OpLoadA {
+		t.Fatalf("first op %v", insts[0].Op)
+	}
+	if _, err := TraceWarp(k, -1, 0, 1); err == nil {
+		t.Error("negative CTA should fail")
+	}
+	if _, err := TraceWarp(k, 0, 99, 1); err == nil {
+		t.Error("warp out of range should fail")
+	}
+	// n beyond program length truncates.
+	long, err := TraceWarp(k, 0, 0, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(long) == 0 || len(long) >= 1<<30 {
+		t.Fatalf("truncation failed: %d", len(long))
+	}
+}
+
+func TestSharedVariantStrings(t *testing.T) {
+	for _, v := range []SharedVariant{SharedCOnly, SharedAC, SharedABC} {
+		if v.String() == "?" {
+			t.Errorf("variant %d unnamed", v)
+		}
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	for _, o := range []Op{OpLoadA, OpLoadB, OpMMA, OpStoreD} {
+		if o.String() == "?" {
+			t.Errorf("op %d unnamed", o)
+		}
+	}
+}

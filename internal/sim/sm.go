@@ -1,0 +1,480 @@
+package sim
+
+import (
+	duplo "duplo/internal/core"
+)
+
+// lhbReleaseEvt schedules the release of a retired load's LHB entries.
+type lhbReleaseEvt struct {
+	at    int64
+	seqLo uint64
+	seqHi uint64
+}
+
+// robEntry tracks one in-flight instruction for in-order retirement. For
+// tensor-core loads, [seqLo, seqHi) is the range of detection-unit sequence
+// numbers of the instruction's row-vector loads (each wmma.load macro-op
+// issues 16 row loads, §II-B: "a tensor-core-load instruction fetches 16
+// half-precision data, e.g. a row of matrix A").
+type robEntry struct {
+	complete int64
+	isTCLoad bool
+	seqLo    uint64
+	seqHi    uint64
+}
+
+// warpCtx is the execution state of one warp slot.
+type warpCtx struct {
+	active   bool
+	prog     *warpProgram
+	pc       int
+	cur      Instr // decoded prog.At(pc)
+	curOK    bool
+	slot     int // SM warp slot (detection-unit warp id)
+	cta      int // resident-CTA index on this SM
+	age      int64
+	regReady []int64
+	rob      []robEntry
+	robHead  int
+}
+
+func (w *warpCtx) decode() {
+	if !w.curOK && w.pc < w.prog.Len() {
+		w.cur = w.prog.At(w.pc)
+		w.curOK = true
+	}
+}
+
+func (w *warpCtx) advance() {
+	w.pc++
+	w.curOK = false
+}
+
+func (w *warpCtx) robPush(e robEntry) { w.rob = append(w.rob, e) }
+
+func (w *warpCtx) robEmpty() bool { return w.robHead >= len(w.rob) }
+
+func (w *warpCtx) finished() bool {
+	return w.pc >= w.prog.Len() && w.robEmpty()
+}
+
+// smState models one streaming multiprocessor: warp slots, GTO schedulers,
+// tensor-core processing blocks, the LDST unit with its L1, and (optionally)
+// the Duplo detection unit.
+type smState struct {
+	cfg  Config
+	id   int
+	mem  *memSystem
+	gpu  *gpuState
+	du   *duplo.DetectionUnit
+	l1   *cacheArray
+	mshr map[uint64]int64 // lineAddr -> fill cycle
+
+	l1Port int64   // next free L1 tag-port cycle (1 line/cycle)
+	pbFree []int64 // per-scheduler processing-block (tensor core) free cycle
+
+	warps    []warpCtx
+	greedy   []int // per-scheduler greedy warp slot (GTO)
+	ldstBusy []int64
+
+	// lhbRelease is a FIFO of pending LHB entry releases: a retired load's
+	// entries are released RetireDelay cycles after the instruction pops
+	// from the ROB (the modeled register lifetime; release times are
+	// monotone because pops are).
+	lhbRelease []lhbReleaseEvt
+
+	ctaWarpsLeft map[int]int // resident CTA -> unfinished warps
+	resident     int
+
+	stats   Stats
+	lineBuf []uint64
+}
+
+func newSM(cfg Config, id int, mem *memSystem, gpu *gpuState) *smState {
+	sm := &smState{
+		cfg:          cfg,
+		id:           id,
+		mem:          mem,
+		gpu:          gpu,
+		l1:           newCacheArray(cfg.L1KB<<10, cfg.LineBytes, 8),
+		mshr:         make(map[uint64]int64),
+		pbFree:       make([]int64, cfg.Schedulers),
+		warps:        make([]warpCtx, cfg.MaxWarpsPerSM),
+		greedy:       make([]int, cfg.Schedulers),
+		ctaWarpsLeft: make(map[int]int),
+		lineBuf:      make([]uint64, 0, 64),
+	}
+	for i := range sm.greedy {
+		sm.greedy[i] = -1
+	}
+	return sm
+}
+
+// placeCTA installs a CTA's warps into free slots. Caller guarantees
+// capacity (warpsPerCTA free slots).
+func (sm *smState) placeCTA(k *Kernel, cta int, launchSeq int64) {
+	work := k.warpAssignments(cta)
+	placed := 0
+	live := 0
+	for w := 0; w < warpsPerCTA; w++ {
+		prog := newWarpProgram(k, work[w])
+		if prog.Len() == 0 {
+			continue // edge warp with no tiles
+		}
+		// Find a free slot.
+		for s := range sm.warps {
+			if sm.warps[s].active {
+				continue
+			}
+			wc := &sm.warps[s]
+			*wc = warpCtx{
+				active:   true,
+				prog:     prog,
+				slot:     s,
+				cta:      cta,
+				age:      launchSeq*int64(warpsPerCTA) + int64(w),
+				regReady: make([]int64, prog.RegGroups()),
+				rob:      wc.rob[:0],
+			}
+			placed++
+			live++
+			break
+		}
+	}
+	if live == 0 {
+		// Degenerate CTA (fully out of range): nothing resident.
+		return
+	}
+	sm.ctaWarpsLeft[cta] = live
+	sm.resident++
+	_ = placed
+}
+
+// tick advances the SM by one cycle.
+func (sm *smState) tick(now int64) {
+	sm.releaseLHB(now)
+	sm.retire(now)
+	sm.drainLDST(now)
+	for sid := 0; sid < sm.cfg.Schedulers; sid++ {
+		sm.scheduleOne(sid, now)
+	}
+}
+
+// retire pops completed instructions in program order per warp. Retired
+// tensor-core-loads schedule their LHB entry releases RetireDelay cycles
+// later: with the warp-register renaming of [15], a destination register
+// group stays valid well past instruction completion, until the rename pool
+// reclaims it; RetireDelay is the calibrated model of that reuse window
+// (§V-C governs the hit-rate ceiling through it).
+func (sm *smState) retire(now int64) {
+	delay := int64(sm.cfg.RetireDelay)
+	for s := range sm.warps {
+		w := &sm.warps[s]
+		if !w.active {
+			continue
+		}
+		for !w.robEmpty() {
+			e := &w.rob[w.robHead]
+			if e.complete > now {
+				break
+			}
+			if e.isTCLoad && sm.du != nil {
+				sm.lhbRelease = append(sm.lhbRelease, lhbReleaseEvt{at: now + delay, seqLo: e.seqLo, seqHi: e.seqHi})
+			}
+			w.robHead++
+		}
+		if w.robHead > 0 && w.robEmpty() {
+			w.rob = w.rob[:0]
+			w.robHead = 0
+		}
+		if w.finished() {
+			w.active = false
+			left := sm.ctaWarpsLeft[w.cta] - 1
+			if left == 0 {
+				delete(sm.ctaWarpsLeft, w.cta)
+				sm.resident--
+				sm.gpu.ctaDone(sm, now)
+			} else {
+				sm.ctaWarpsLeft[w.cta] = left
+			}
+		}
+	}
+}
+
+// releaseLHB applies due entry releases (FIFO; times are monotone).
+func (sm *smState) releaseLHB(now int64) {
+	i := 0
+	for i < len(sm.lhbRelease) && sm.lhbRelease[i].at <= now {
+		e := sm.lhbRelease[i]
+		for q := e.seqLo; q < e.seqHi; q++ {
+			sm.du.Retire(q)
+		}
+		i++
+	}
+	if i > 0 {
+		sm.lhbRelease = sm.lhbRelease[i:]
+	}
+}
+
+// drainLDST frees queue slots whose memory operations completed.
+func (sm *smState) drainLDST(now int64) {
+	q := sm.ldstBusy[:0]
+	for _, t := range sm.ldstBusy {
+		if t > now {
+			q = append(q, t)
+		}
+	}
+	sm.ldstBusy = q
+}
+
+// scheduleOne runs one warp scheduler for one cycle: greedy-then-oldest.
+func (sm *smState) scheduleOne(sid int, now int64) {
+	// Candidate order: the greedy warp first, then all of this scheduler's
+	// warps oldest-first.
+	ldstBlocked := false
+	try := func(s int) bool {
+		w := &sm.warps[s]
+		if !w.active || w.pc >= w.prog.Len() {
+			return false
+		}
+		ok, blocked := sm.tryIssue(sid, w, now)
+		if blocked {
+			ldstBlocked = true
+		}
+		return ok
+	}
+	if g := sm.greedy[sid]; g >= 0 && try(g) {
+		return
+	}
+	// Oldest-first scan over this scheduler's warp slots.
+	best := -1
+	var bestAge int64 = 1 << 62
+	for s := sid; s < len(sm.warps); s += sm.cfg.Schedulers {
+		w := &sm.warps[s]
+		if !w.active || w.pc >= w.prog.Len() || s == sm.greedy[sid] {
+			continue
+		}
+		if w.age < bestAge {
+			// Try in age order lazily: collect the oldest issuable.
+			if ok, blocked := sm.canIssue(sid, w, now); ok {
+				bestAge = w.age
+				best = s
+			} else if blocked {
+				ldstBlocked = true
+			}
+		}
+	}
+	if best >= 0 {
+		w := &sm.warps[best]
+		sm.tryIssue(sid, w, now)
+		sm.greedy[sid] = best
+		return
+	}
+	sm.greedy[sid] = -1
+	sm.stats.IssueStallCycles++
+	if ldstBlocked {
+		sm.stats.LDSTStallCycles++
+	}
+}
+
+// canIssue checks issueability without side effects.
+func (sm *smState) canIssue(sid int, w *warpCtx, now int64) (ok, ldstBlocked bool) {
+	w.decode()
+	in := &w.cur
+	switch in.Op {
+	case OpLoadA, OpLoadB:
+		if w.regReady[in.Dst] > now {
+			return false, false
+		}
+		if len(sm.ldstBusy) >= sm.cfg.LDSTQueueDepth {
+			return false, true
+		}
+	case OpMMA:
+		if w.regReady[in.SrcA] > now || w.regReady[in.SrcB] > now || w.regReady[in.Dst] > now {
+			return false, false
+		}
+		if sm.pbFree[sid] > now {
+			return false, false
+		}
+	case OpStoreD:
+		if w.regReady[in.SrcA] > now {
+			return false, false
+		}
+		if len(sm.ldstBusy) >= sm.cfg.LDSTQueueDepth {
+			return false, true
+		}
+	}
+	return true, false
+}
+
+// tryIssue issues the warp's next instruction if possible.
+func (sm *smState) tryIssue(sid int, w *warpCtx, now int64) (issued, ldstBlocked bool) {
+	ok, blocked := sm.canIssue(sid, w, now)
+	if !ok {
+		return false, blocked
+	}
+	in := w.cur
+	sm.stats.Instructions++
+	switch in.Op {
+	case OpLoadA, OpLoadB:
+		sm.issueLoad(w, in, now)
+	case OpMMA:
+		sm.stats.MMAs++
+		sm.pbFree[sid] = now + int64(sm.cfg.MMAInitiation)
+		w.regReady[in.Dst] = now + int64(sm.cfg.MMALatency)
+		w.robPush(robEntry{complete: now + int64(sm.cfg.MMALatency)})
+	case OpStoreD:
+		sm.issueStore(w, in, now)
+	}
+	w.advance()
+	return true, false
+}
+
+// issueLoad processes a wmma.load macro-op. Following §II-B, the macro-op
+// expands into 16 row-vector loads (one 16-element row of the tile each);
+// each row load consults the Duplo detection unit individually (row IDs are
+// what the LHB tracks), and only the rows that miss generate line requests.
+func (sm *smState) issueLoad(w *warpCtx, in Instr, now int64) {
+	sm.stats.TensorLoads += tileRows
+	var seqLo, seqHi uint64
+	tracked := false
+	var complete int64
+	anyMem := false
+	sm.lineBuf = sm.lineBuf[:0]
+	lb := uint64(sm.cfg.LineBytes)
+
+	for r := 0; r < tileRows; r++ {
+		rowAddr := in.Addr + uint64(r)*uint64(in.RowPitch)
+		hit := false
+		if sm.du != nil {
+			res, seq := sm.du.Access(w.slot, int(in.Dst), rowAddr, 0)
+			if r == 0 {
+				seqLo = seq
+			}
+			seqHi = seq + 1
+			if res.Kind != duplo.AccessBypass {
+				tracked = true
+			}
+			if res.Kind == duplo.AccessHit {
+				// Row eliminated: rename after the detection latency; the
+				// consumer waits for the original load's data via the
+				// scoreboard (entry meta carries its ready cycle).
+				hit = true
+				sm.stats.LoadsEliminted++
+				t := now + int64(sm.du.Latency())
+				if res.Meta > t {
+					t = res.Meta
+				}
+				if t > complete {
+					complete = t
+				}
+				// Parallel L1 lookup happens anyway (energy), then cancels.
+				sm.stats.L1Accesses++
+				sm.stats.ServiceLines[ServiceLHB]++
+			}
+		}
+		if !hit {
+			anyMem = true
+			// Collect this row's line(s), deduplicated across miss rows.
+			first := rowAddr &^ (lb - 1)
+			last := (rowAddr + uint64(in.RowBytes) - 1) &^ (lb - 1)
+			for line := first; line <= last; line += lb {
+				dup := false
+				for _, v := range sm.lineBuf {
+					if v == line {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					sm.lineBuf = append(sm.lineBuf, line)
+				}
+			}
+		}
+	}
+
+	// Memory path for the missing rows: line requests serialized on the L1
+	// tag port.
+	var memReady int64
+	for _, line := range sm.lineBuf {
+		t := now
+		if sm.l1Port > t {
+			t = sm.l1Port
+		}
+		sm.l1Port = t + 1
+		ready, src := sm.accessLine(line, t)
+		if ready > memReady {
+			memReady = ready
+		}
+		sm.stats.ServiceLines[src]++
+	}
+	if memReady > complete {
+		complete = memReady
+	}
+	if complete == 0 {
+		complete = now + 1
+	}
+	w.regReady[in.Dst] = complete
+	if anyMem {
+		sm.ldstBusy = append(sm.ldstBusy, complete)
+	}
+	w.robPush(robEntry{complete: complete, isTCLoad: tracked, seqLo: seqLo, seqHi: seqHi})
+	if tracked && anyMem {
+		// Record the data-ready cycle in the rows' LHB entries so later
+		// hits wait for the data (meta update after the miss resolved).
+		for r := 0; r < tileRows; r++ {
+			rowAddr := in.Addr + uint64(r)*uint64(in.RowPitch)
+			if id, st := sm.du.Gen().IDs(rowAddr); st == duplo.StatusOK {
+				sm.du.SetMeta(id, complete)
+			}
+		}
+	}
+}
+
+// accessLine performs one read line access at cycle t (post port
+// arbitration) and returns (data-ready cycle, serving level).
+func (sm *smState) accessLine(line uint64, t int64) (int64, ServiceLevel) {
+	sm.stats.L1Accesses++
+	l1Lat := int64(sm.cfg.L1LatencyCycles)
+	if fill, pending := sm.mshr[line]; pending {
+		if fill > t {
+			// Merge into the outstanding miss.
+			sm.stats.MSHRMerges++
+			sm.stats.L1Hits++ // serviced without new traffic
+			return fill, ServiceL1
+		}
+		delete(sm.mshr, line)
+	}
+	if sm.l1.Lookup(line) {
+		sm.stats.L1Hits++
+		return t + l1Lat, ServiceL1
+	}
+	fill, src := sm.mem.readLine(line, t+l1Lat)
+	sm.l1.Insert(line)
+	sm.mshr[line] = fill
+	return fill, src
+}
+
+// issueStore processes a wmma.store.d: write-through line transactions.
+func (sm *smState) issueStore(w *warpCtx, in Instr, now int64) {
+	sm.stats.Stores++
+	if sm.du != nil {
+		sm.du.Store(in.Addr) // consistency hook (§IV-B); no-op outside workspace
+	}
+	sm.lineBuf = lineSpan(sm.lineBuf[:0], in, sm.cfg.LineBytes)
+	for range sm.lineBuf {
+		t := now
+		if sm.l1Port > t {
+			t = sm.l1Port
+		}
+		sm.l1Port = t + 1
+		sm.stats.L1Accesses++
+		sm.mem.writeLine(t)
+	}
+	complete := now + int64(sm.cfg.StoreLatency)
+	sm.ldstBusy = append(sm.ldstBusy, complete)
+	w.robPush(robEntry{complete: complete})
+}
+
+// busy reports whether any warp is resident.
+func (sm *smState) busy() bool { return sm.resident > 0 }

@@ -1,0 +1,196 @@
+// Package winograd implements the Winograd minimal-filtering convolution
+// F(2x2, 3x3) of Lavin & Gray [18], one of the accelerated convolution
+// methods the paper compares against (Fig. 2/3).
+//
+// A 4x4 input tile d and 3x3 filter g are transformed into the Winograd
+// domain (V = Bᵀ d B, U = G g Gᵀ), multiplied element-wise, accumulated
+// over channels, and inverse-transformed (Y = Aᵀ M A) into a 2x2 output
+// tile. The per-tile multiplication count drops from 36 to 16 MACs.
+//
+// Applicability follows §II-A: 3x3 filters with unit stride only. The
+// harness reports N/A for other shapes, reproducing the missing bars of
+// Fig. 2/3.
+package winograd
+
+import (
+	"fmt"
+
+	"duplo/internal/conv"
+	"duplo/internal/tensor"
+)
+
+// Applicable reports whether the Winograd path supports the layer: 3x3
+// filter, unit stride (§II-A limitations).
+func Applicable(p conv.Params) bool {
+	return p.FH == 3 && p.FW == 3 && p.Stride == 1
+}
+
+// transformFilter computes U = G g Gᵀ for a 3x3 filter tap matrix g.
+//
+//	G = | 1    0    0  |
+//	    | 1/2  1/2  1/2|
+//	    | 1/2 -1/2  1/2|
+//	    | 0    0    1  |
+func transformFilter(g *[3][3]float32) (u [4][4]float32) {
+	// t = G g  (4x3)
+	var t [4][3]float32
+	for c := 0; c < 3; c++ {
+		g0, g1, g2 := g[0][c], g[1][c], g[2][c]
+		t[0][c] = g0
+		t[1][c] = 0.5 * (g0 + g1 + g2)
+		t[2][c] = 0.5 * (g0 - g1 + g2)
+		t[3][c] = g2
+	}
+	// u = t Gᵀ (4x4)
+	for r := 0; r < 4; r++ {
+		g0, g1, g2 := t[r][0], t[r][1], t[r][2]
+		u[r][0] = g0
+		u[r][1] = 0.5 * (g0 + g1 + g2)
+		u[r][2] = 0.5 * (g0 - g1 + g2)
+		u[r][3] = g2
+	}
+	return u
+}
+
+// transformInput computes V = Bᵀ d B for a 4x4 input tile d.
+//
+//	Bᵀ = | 1  0 -1  0 |
+//	     | 0  1  1  0 |
+//	     | 0 -1  1  0 |
+//	     | 0  1  0 -1 |
+func transformInput(d *[4][4]float32) (v [4][4]float32) {
+	var t [4][4]float32
+	for c := 0; c < 4; c++ {
+		d0, d1, d2, d3 := d[0][c], d[1][c], d[2][c], d[3][c]
+		t[0][c] = d0 - d2
+		t[1][c] = d1 + d2
+		t[2][c] = d2 - d1
+		t[3][c] = d1 - d3
+	}
+	for r := 0; r < 4; r++ {
+		t0, t1, t2, t3 := t[r][0], t[r][1], t[r][2], t[r][3]
+		v[r][0] = t0 - t2
+		v[r][1] = t1 + t2
+		v[r][2] = t2 - t1
+		v[r][3] = t1 - t3
+	}
+	return v
+}
+
+// inverseTransform computes Y = Aᵀ m A for a 4x4 Winograd-domain tile.
+//
+//	Aᵀ = | 1  1  1  0 |
+//	     | 0  1 -1 -1 |
+func inverseTransform(m *[4][4]float32) (y [2][2]float32) {
+	var t [2][4]float32
+	for c := 0; c < 4; c++ {
+		m0, m1, m2, m3 := m[0][c], m[1][c], m[2][c], m[3][c]
+		t[0][c] = m0 + m1 + m2
+		t[1][c] = m1 - m2 - m3
+	}
+	for r := 0; r < 2; r++ {
+		t0, t1, t2, t3 := t[r][0], t[r][1], t[r][2], t[r][3]
+		y[r][0] = t0 + t1 + t2
+		y[r][1] = t1 - t2 - t3
+	}
+	return y
+}
+
+// Conv computes the convolution with F(2x2, 3x3) Winograd tiling. It
+// matches conv.Direct within fp32 tolerance for any padding; output tiles
+// that extend past the output edge are computed and cropped.
+func Conv(p conv.Params, input, filters *tensor.Tensor) (*tensor.Tensor, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !Applicable(p) {
+		return nil, fmt.Errorf("winograd: inapplicable layer (%dx%d filter, stride %d)", p.FH, p.FW, p.Stride)
+	}
+	if input.N != p.N || input.H != p.H || input.W != p.W || input.C != p.C {
+		return nil, fmt.Errorf("winograd: input shape %s != params", input.ShapeString())
+	}
+	if filters.N != p.K || filters.H != 3 || filters.W != 3 || filters.C != p.C {
+		return nil, fmt.Errorf("winograd: filter shape %s != params", filters.ShapeString())
+	}
+
+	oh, ow := p.OutH(), p.OutW()
+	out := p.NewOutput()
+
+	// Pre-transform all filters: U[k][c].
+	u := make([][][4][4]float32, p.K)
+	for k := 0; k < p.K; k++ {
+		u[k] = make([][4][4]float32, p.C)
+		for c := 0; c < p.C; c++ {
+			var g [3][3]float32
+			for y := 0; y < 3; y++ {
+				for x := 0; x < 3; x++ {
+					g[y][x] = filters.At(k, y, x, c)
+				}
+			}
+			u[k][c] = transformFilter(&g)
+		}
+	}
+
+	tilesY := (oh + 1) / 2
+	tilesX := (ow + 1) / 2
+	vbuf := make([][4][4]float32, p.C)
+	for n := 0; n < p.N; n++ {
+		for ty := 0; ty < tilesY; ty++ {
+			for tx := 0; tx < tilesX; tx++ {
+				// Input tile anchor in padded coordinates.
+				iy0 := ty*2 - p.Pad
+				ix0 := tx*2 - p.Pad
+				for c := 0; c < p.C; c++ {
+					var d [4][4]float32
+					for y := 0; y < 4; y++ {
+						for x := 0; x < 4; x++ {
+							d[y][x] = input.AtPadded(n, iy0+y, ix0+x, c)
+						}
+					}
+					vbuf[c] = transformInput(&d)
+				}
+				for k := 0; k < p.K; k++ {
+					var m [4][4]float32
+					for c := 0; c < p.C; c++ {
+						uk := &u[k][c]
+						vc := &vbuf[c]
+						for y := 0; y < 4; y++ {
+							for x := 0; x < 4; x++ {
+								m[y][x] += uk[y][x] * vc[y][x]
+							}
+						}
+					}
+					y2 := inverseTransform(&m)
+					for dy := 0; dy < 2; dy++ {
+						oy := ty*2 + dy
+						if oy >= oh {
+							continue
+						}
+						for dx := 0; dx < 2; dx++ {
+							ox := tx*2 + dx
+							if ox >= ow {
+								continue
+							}
+							out.Set(n, oy, ox, k, y2[dy][dx])
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// TransformElems returns the number of Winograd-domain elements the method
+// materializes (U, V and M buffers), the quantity behind the Fig. 3 memory
+// accounting for the Winograd bars.
+func TransformElems(p conv.Params) int64 {
+	if !Applicable(p) {
+		return 0
+	}
+	tiles := int64((p.OutH()+1)/2) * int64((p.OutW()+1)/2) * int64(p.N)
+	u := int64(p.K) * int64(p.C) * 16
+	v := int64(p.C) * tiles * 16
+	m := int64(p.K) * tiles * 16
+	return u + v + m
+}

@@ -1,0 +1,98 @@
+package winograd
+
+import (
+	"testing"
+
+	"duplo/internal/conv"
+	"duplo/internal/tensor"
+)
+
+func TestApplicable(t *testing.T) {
+	ok := conv.Params{N: 1, H: 8, W: 8, C: 1, K: 1, FH: 3, FW: 3, Pad: 1, Stride: 1}
+	if !Applicable(ok) {
+		t.Error("3x3 stride 1 should be applicable")
+	}
+	for _, p := range []conv.Params{
+		{N: 1, H: 8, W: 8, C: 1, K: 1, FH: 3, FW: 3, Pad: 1, Stride: 2},
+		{N: 1, H: 8, W: 8, C: 1, K: 1, FH: 5, FW: 5, Pad: 2, Stride: 1},
+		{N: 1, H: 8, W: 8, C: 1, K: 1, FH: 7, FW: 7, Pad: 3, Stride: 1},
+	} {
+		if Applicable(p) {
+			t.Errorf("%v should be inapplicable", p)
+		}
+		if _, err := Conv(p, tensor.New(p.N, p.H, p.W, p.C), tensor.New(p.K, p.FH, p.FW, p.C)); err == nil {
+			t.Errorf("%v: Conv should reject inapplicable layer", p)
+		}
+	}
+}
+
+// F(2x2,3x3) on a delta input must reproduce the (flipped-position) filter.
+func TestDeltaResponse(t *testing.T) {
+	p := conv.Params{N: 1, H: 6, W: 6, C: 1, K: 1, FH: 3, FW: 3, Pad: 1, Stride: 1}
+	in := tensor.New(1, 6, 6, 1)
+	in.Set(0, 3, 3, 0, 1) // delta at (3,3)
+	f := tensor.New(1, 3, 3, 1)
+	f.FillSequential() // 0..8
+	want, err := conv.Direct(p, in, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Conv(p, in, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := got.MaxAbsDiff(want); d > 1e-4 {
+		t.Fatalf("delta response differs by %v", d)
+	}
+}
+
+func TestMatchesDirect(t *testing.T) {
+	layers := []conv.Params{
+		{N: 1, H: 4, W: 4, C: 1, K: 1, FH: 3, FW: 3, Pad: 0, Stride: 1},
+		{N: 2, H: 8, W: 8, C: 4, K: 8, FH: 3, FW: 3, Pad: 1, Stride: 1},
+		{N: 1, H: 7, W: 9, C: 3, K: 2, FH: 3, FW: 3, Pad: 1, Stride: 1}, // odd output dims
+		{N: 1, H: 5, W: 5, C: 2, K: 2, FH: 3, FW: 3, Pad: 0, Stride: 1}, // 3x3 output (tile crop)
+	}
+	for _, p := range layers {
+		in := tensor.New(p.N, p.H, p.W, p.C)
+		in.FillRandom(71, 1)
+		f := tensor.New(p.K, 3, 3, p.C)
+		f.FillRandom(72, 0.5)
+		want, err := conv.Direct(p, in, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Conv(p, in, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.SameShape(want) {
+			t.Fatalf("%v: shape %s vs %s", p, got.ShapeString(), want.ShapeString())
+		}
+		if d := got.RelErr(want); d > 1e-4 {
+			t.Errorf("%v: winograd rel err %v", p, d)
+		}
+	}
+}
+
+func TestTransformElems(t *testing.T) {
+	p := conv.Params{N: 1, H: 4, W: 4, C: 1, K: 1, FH: 3, FW: 3, Pad: 1, Stride: 1}
+	// tiles = 2x2=4; U = 16, V = 4*16 = 64, M = 4*16 = 64 -> 144.
+	if got := TransformElems(p); got != 144 {
+		t.Errorf("TransformElems = %d, want 144", got)
+	}
+	bad := conv.Params{N: 1, H: 4, W: 4, C: 1, K: 1, FH: 5, FW: 5, Pad: 2, Stride: 1}
+	if TransformElems(bad) != 0 {
+		t.Error("inapplicable layer should report 0 transform elems")
+	}
+}
+
+func TestShapeValidation(t *testing.T) {
+	p := conv.Params{N: 1, H: 4, W: 4, C: 1, K: 1, FH: 3, FW: 3, Pad: 0, Stride: 1}
+	if _, err := Conv(p, tensor.New(1, 5, 4, 1), tensor.New(1, 3, 3, 1)); err == nil {
+		t.Error("expected input shape error")
+	}
+	if _, err := Conv(p, tensor.New(1, 4, 4, 1), tensor.New(2, 3, 3, 1)); err == nil {
+		t.Error("expected filter shape error")
+	}
+}

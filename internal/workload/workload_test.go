@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"testing"
+
+	"duplo/internal/conv"
+)
+
+func TestTableICounts(t *testing.T) {
+	if len(ResNet) != 8 || len(GAN) != 8 || len(YOLO) != 6 {
+		t.Fatalf("layer counts %d/%d/%d", len(ResNet), len(GAN), len(YOLO))
+	}
+	if len(AllLayers()) != 22 {
+		t.Fatalf("total layers %d", len(AllLayers()))
+	}
+}
+
+func TestAllLayersValid(t *testing.T) {
+	for _, l := range AllLayers() {
+		if err := l.Params.Validate(); err != nil {
+			t.Errorf("%s: %v", l.FullName(), err)
+		}
+		if err := l.GemmParams().Validate(); err != nil {
+			t.Errorf("%s gemm params: %v", l.FullName(), err)
+		}
+		if l.Params.N != 8 {
+			t.Errorf("%s: Table I batch is 8, got %d", l.FullName(), l.Params.N)
+		}
+	}
+}
+
+// Chained layers must have compatible shapes: each layer's output feeds the
+// next (spot-check the chains the paper's Table I implies).
+func TestLayerChaining(t *testing.T) {
+	chains := [][]Layer{YOLO, ResNet[1:]} // ResNet C1 feeds C2 via a pooling layer
+	for _, chain := range chains {
+		for i := 1; i < len(chain); i++ {
+			prev, cur := chain[i-1], chain[i]
+			if prev.Params.K != cur.Params.C {
+				t.Errorf("%s -> %s: channels %d -> %d", prev.FullName(), cur.FullName(), prev.Params.K, cur.Params.C)
+			}
+		}
+	}
+	// GAN generator chain TC1->TC4.
+	for i := 1; i < 4; i++ {
+		prev, cur := GAN[i-1], GAN[i]
+		if prev.Params.K != cur.Params.C {
+			t.Errorf("%s -> %s: channels %d -> %d", prev.FullName(), cur.FullName(), prev.Params.K, cur.Params.C)
+		}
+		if prev.Params.H*2 != cur.Params.H {
+			t.Errorf("%s -> %s: upsampling %d -> %d", prev.FullName(), cur.FullName(), prev.Params.H, cur.Params.H)
+		}
+	}
+}
+
+// Table I spot checks against the printed rows.
+func TestTableISpotChecks(t *testing.T) {
+	c1, err := Find("ResNet", "C1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := conv.Params{N: 8, H: 224, W: 224, C: 3, K: 64, FH: 7, FW: 7, Pad: 3, Stride: 2}
+	if c1.Params != want {
+		t.Errorf("ResNet C1 = %+v", c1.Params)
+	}
+	tc4, _ := Find("GAN", "TC4")
+	if !tc4.Transposed || tc4.Params.K != 3 {
+		t.Errorf("GAN TC4 = %+v", tc4)
+	}
+	c6, _ := Find("YOLO", "C6")
+	if c6.Params.K != 1024 || c6.Params.C != 512 {
+		t.Errorf("YOLO C6 = %+v", c6.Params)
+	}
+	if _, err := Find("ResNet", "C99"); err == nil {
+		t.Error("expected error for unknown layer")
+	}
+}
+
+// GAN transposed layers double the spatial size through the dilated
+// equivalent (Table I: TC1 4x4 -> TC2 8x8, etc.).
+func TestTransposedGemmParams(t *testing.T) {
+	tc1, _ := Find("GAN", "TC1")
+	g := tc1.GemmParams()
+	if g.H != 8 || g.W != 8 || g.Stride != 1 {
+		t.Fatalf("TC1 dilated params %+v", g)
+	}
+	if g.OutH() != 8 || g.OutW() != 8 {
+		t.Fatalf("TC1 output %dx%d, want 8x8 (Table I TC2 input)", g.OutH(), g.OutW())
+	}
+	// Non-transposed layers pass through unchanged.
+	c2, _ := Find("ResNet", "C2")
+	if c2.GemmParams() != c2.Params {
+		t.Fatal("plain layer must pass through")
+	}
+}
+
+func TestTrainingGemms(t *testing.T) {
+	l, _ := Find("ResNet", "C2")
+	gs := TrainingGemms(l)
+	if len(gs) != 3 {
+		t.Fatalf("training GEMM count %d", len(gs))
+	}
+	if gs[0].Conv == nil || gs[1].Conv == nil {
+		t.Fatal("fwd and dgrad must carry conv params")
+	}
+	if gs[2].Conv != nil {
+		t.Fatal("wgrad must be a plain GEMM")
+	}
+	if err := gs[1].Conv.Validate(); err != nil {
+		t.Fatalf("dgrad params invalid: %v", err)
+	}
+	// dgrad reconstructs the input spatial resolution: output dims must
+	// equal the forward input dims.
+	d := *gs[1].Conv
+	if d.OutH() != l.Params.H || d.OutW() != l.Params.W {
+		t.Fatalf("dgrad output %dx%d, want %dx%d", d.OutH(), d.OutW(), l.Params.H, l.Params.W)
+	}
+	if gs[2].M != 64 || gs[2].N != 3*3*64 || gs[2].K != 8*56*56 {
+		t.Fatalf("wgrad dims %dx%dx%d", gs[2].M, gs[2].N, gs[2].K)
+	}
+	// Strided layer dgrad also validates and reconstructs.
+	l3, _ := Find("ResNet", "C3")
+	gs3 := TrainingGemms(l3)
+	if err := gs3[1].Conv.Validate(); err != nil {
+		t.Fatalf("strided dgrad invalid: %v", err)
+	}
+}
+
+func TestNetworksMap(t *testing.T) {
+	m := Networks()
+	if len(m) != 3 {
+		t.Fatal("network count")
+	}
+	for _, n := range NetworkNames() {
+		if len(m[n]) == 0 {
+			t.Errorf("network %s empty", n)
+		}
+	}
+}
