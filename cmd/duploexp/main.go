@@ -6,7 +6,12 @@
 //	duploexp -exp all                 # everything
 //	duploexp -exp fig9 -ctas 192      # one experiment, more CTAs
 //	duploexp -exp fig14 -full         # uncapped grids (slow)
+//	duploexp -exp fig9 -workers 8     # bound the simulation worker pool
 //	duploexp -exp table2
+//
+// Independent simulations run on a worker pool (default GOMAXPROCS wide;
+// -workers 1 forces the serial path). Tables are byte-identical at any
+// worker count.
 //
 // Experiments: table1 table2 table3 fig2 fig3 fig9 fig10 fig11 fig12 fig13
 // fig14 energy latency smem cache evict index limits.
@@ -27,13 +32,14 @@ func main() {
 		exp     = flag.String("exp", "all", "experiment id (see package doc) or 'all'")
 		ctas    = flag.Int("ctas", 96, "max CTAs simulated per kernel")
 		simSMs  = flag.Int("sms", 4, "number of SMs simulated")
+		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 		full    = flag.Bool("full", false, "simulate full grids (removes the CTA cap; slow)")
 		verbose = flag.Bool("v", false, "print progress")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	)
 	flag.Parse()
 
-	opts := experiments.Options{MaxCTAs: *ctas, SimSMs: *simSMs, Verbose: *verbose}
+	opts := experiments.Options{MaxCTAs: *ctas, SimSMs: *simSMs, Workers: *workers, Verbose: *verbose}
 	if *full {
 		opts.MaxCTAs = 0
 	}

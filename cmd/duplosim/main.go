@@ -7,28 +7,35 @@
 //	duplosim -net ResNet -layer C2                 # baseline vs Duplo
 //	duplosim -net YOLO -layer C4 -lhb 2048 -ways 8
 //	duplosim -net GAN -layer TC1 -oracle -ctas 192
+//	duplosim -net ResNet -layer C2 -workers 2      # baseline and Duplo in parallel
+//
+// With -workers > 1 (default GOMAXPROCS) the baseline and Duplo
+// simulations run concurrently; output order and values are unchanged.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	duplo "duplo/internal/core"
+	"duplo/internal/experiments"
 	"duplo/internal/sim"
 	"duplo/internal/workload"
 )
 
 func main() {
 	var (
-		net    = flag.String("net", "ResNet", "network (ResNet, GAN, YOLO)")
-		layer  = flag.String("layer", "C2", "layer name from Table I (C1.., TC1..)")
-		lhb    = flag.Int("lhb", 1024, "LHB entries")
-		ways   = flag.Int("ways", 1, "LHB associativity")
-		oracle = flag.Bool("oracle", false, "infinite LHB")
-		ctas   = flag.Int("ctas", 96, "max CTAs simulated (0 = full grid)")
-		simSMs = flag.Int("sms", 4, "SMs simulated")
-		batch  = flag.Int("batch", 0, "override batch size (default Table I's 8)")
+		net     = flag.String("net", "ResNet", "network (ResNet, GAN, YOLO)")
+		layer   = flag.String("layer", "C2", "layer name from Table I (C1.., TC1..)")
+		lhb     = flag.Int("lhb", 1024, "LHB entries")
+		ways    = flag.Int("ways", 1, "LHB associativity")
+		oracle  = flag.Bool("oracle", false, "infinite LHB")
+		ctas    = flag.Int("ctas", 96, "max CTAs simulated (0 = full grid)")
+		simSMs  = flag.Int("sms", 4, "SMs simulated")
+		batch   = flag.Int("batch", 0, "override batch size (default Table I's 8)")
+		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -53,20 +60,27 @@ func main() {
 	fmt.Printf("GEMM %dx%dx%d (padded %dx%dx%d), %d CTAs total, simulating %d on %d SMs\n\n",
 		k.M, k.N, k.K, k.MPad, k.NPad, k.KPad, k.TotalCTAs(), min(*ctas, k.TotalCTAs()), cfg.SimSMs)
 
-	base, err := sim.Run(cfg, k)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "duplosim:", err)
-		os.Exit(1)
+	dcfg := cfg
+	dcfg.Duplo = true
+	dcfg.DetectCfg.LHB = duplo.LHBConfig{Entries: *lhb, Ways: *ways, Oracle: *oracle}
+
+	// Both runs go through the experiments runner: with -workers > 1 the
+	// baseline and Duplo simulations execute concurrently.
+	r := experiments.NewRunner(experiments.Options{MaxCTAs: *ctas, SimSMs: *simSMs, Workers: *workers})
+	var base, dup sim.Result
+	var baseErr, dupErr error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); base, baseErr = r.Run(k, cfg) }()
+	go func() { defer wg.Done(); dup, dupErr = r.Run(k, dcfg) }()
+	wg.Wait()
+	for _, err := range []error{baseErr, dupErr} {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "duplosim:", err)
+			os.Exit(1)
+		}
 	}
 	printStats("baseline", base)
-
-	cfg.Duplo = true
-	cfg.DetectCfg.LHB = duplo.LHBConfig{Entries: *lhb, Ways: *ways, Oracle: *oracle}
-	dup, err := sim.Run(cfg, k)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "duplosim:", err)
-		os.Exit(1)
-	}
 	printStats("duplo", dup)
 
 	fmt.Printf("performance improvement: %+.1f%%\n", 100*sim.Speedup(base, dup))

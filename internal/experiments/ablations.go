@@ -6,22 +6,25 @@ import (
 	duplo "duplo/internal/core"
 	"duplo/internal/report"
 	"duplo/internal/sim"
+	"duplo/internal/workload"
 )
 
 // AblationLatency reproduces the §IV-A sensitivity: a 3-cycle detection
 // unit costs only ~0.9% versus the 2-cycle design.
 func (r *Runner) AblationLatency() (*report.Table, error) {
+	layers := r.opts.layers()
 	t := report.NewTable("Ablation: detection-unit latency (§IV-A)",
 		"Layer", "2-cycle", "3-cycle", "Delta")
-	var deltas []float64
-	for _, l := range r.opts.layers() {
+	type row struct{ i2, i3 float64 }
+	rows := make([]row, len(layers))
+	err := r.forEachLayer(layers, func(i int, l workload.Layer) error {
 		base, err := r.Baseline(l)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		k, err := LayerKernel(l)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		imp := func(lat int) (float64, error) {
 			cfg := r.opts.config()
@@ -36,15 +39,24 @@ func (r *Runner) AblationLatency() (*report.Table, error) {
 		}
 		i2, err := imp(2)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		i3, err := imp(3)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		rows[i] = row{i2, i3}
+		r.progress("latency %s done", l.FullName())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var deltas []float64
+	for i, l := range layers {
+		i2, i3 := rows[i].i2, rows[i].i3
 		deltas = append(deltas, i2-i3)
 		t.AddRowCells([]string{l.FullName(), report.Pct(i2), report.Pct(i3), report.Pct(i2 - i3)})
-		r.opts.progress("latency %s done", l.FullName())
 	}
 	t.AddRowCells([]string{"Mean", "", "", report.Pct(mean(deltas))})
 	return t, nil
@@ -54,31 +66,42 @@ func (r *Runner) AblationLatency() (*report.Table, error) {
 // operands to stage in shared memory. C-only allows 3 concurrent CTAs and
 // wins (the paper reports +29.7% over all-in-shared).
 func (r *Runner) AblationSharedMem() (*report.Table, error) {
+	layers := r.opts.layers()
 	t := report.NewTable("Ablation: shared-memory operand placement (§II-C)",
 		"Layer", "A+B+C (1 CTA)", "A+C (2 CTAs)", "C-only (3 CTAs)", "C-only vs A+B+C")
 	variants := []sim.SharedVariant{sim.SharedABC, sim.SharedAC, sim.SharedCOnly}
-	var gains []float64
-	for _, l := range r.opts.layers() {
-		cycles := make([]int64, len(variants))
-		for i, v := range variants {
-			k, err := LayerKernel(l)
-			if err != nil {
-				return nil, err
-			}
-			k.Variant = v
-			k.Name = fmt.Sprintf("%s@%s", l.FullName(), v)
-			res, err := r.Run(k, r.opts.config())
-			if err != nil {
-				return nil, err
-			}
-			cycles[i] = res.Cycles
+	cycles := make([][]int64, len(layers))
+	for i := range cycles {
+		cycles[i] = make([]int64, len(variants))
+	}
+	err := r.fanOut(len(layers)*len(variants), func(idx int) error {
+		li, vi := idx/len(variants), idx%len(variants)
+		l, v := layers[li], variants[vi]
+		k, err := LayerKernel(l)
+		if err != nil {
+			return err
 		}
-		gain := float64(cycles[0])/float64(cycles[2]) - 1
+		k.Variant = v
+		k.Name = fmt.Sprintf("%s@%s", l.FullName(), v)
+		res, err := r.Run(k, r.opts.config())
+		if err != nil {
+			return err
+		}
+		cycles[li][vi] = res.Cycles
+		r.progress("smem %s %s done", l.FullName(), v)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var gains []float64
+	for li, l := range layers {
+		c := cycles[li]
+		gain := float64(c[0])/float64(c[2]) - 1
 		gains = append(gains, gain)
 		t.AddRowCells([]string{l.FullName(),
-			fmt.Sprint(cycles[0]), fmt.Sprint(cycles[1]), fmt.Sprint(cycles[2]),
+			fmt.Sprint(c[0]), fmt.Sprint(c[1]), fmt.Sprint(c[2]),
 			report.Pct(gain)})
-		r.opts.progress("smem %s done", l.FullName())
 	}
 	t.AddRowCells([]string{"Mean", "", "", "", report.Pct(mean(gains))})
 	return t, nil
@@ -87,29 +110,39 @@ func (r *Runner) AblationSharedMem() (*report.Table, error) {
 // AblationCacheScaling reproduces the §V-D claim: even 16x L1 and 4x L2
 // buy only ~1.8% — bigger caches are not the answer.
 func (r *Runner) AblationCacheScaling() (*report.Table, error) {
+	layers := r.opts.layers()
 	t := report.NewTable("Ablation: cache scaling without Duplo (§V-D)",
 		"Layer", "Baseline cyc", "16xL1+4xL2 cyc", "Gain")
-	var gains []float64
-	for _, l := range r.opts.layers() {
+	type row struct{ base, big int64 }
+	rows := make([]row, len(layers))
+	err := r.forEachLayer(layers, func(i int, l workload.Layer) error {
 		base, err := r.Baseline(l)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		k, err := LayerKernel(l)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cfg := r.opts.config()
 		cfg.L1KB *= 16
 		cfg.L2KB *= 4
 		big, err := r.Run(k, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		gain := float64(base.Cycles)/float64(big.Cycles) - 1
+		rows[i] = row{base.Cycles, big.Cycles}
+		r.progress("cache %s done", l.FullName())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var gains []float64
+	for i, l := range layers {
+		gain := float64(rows[i].base)/float64(rows[i].big) - 1
 		gains = append(gains, gain)
-		t.AddRowCells([]string{l.FullName(), fmt.Sprint(base.Cycles), fmt.Sprint(big.Cycles), report.Pct(gain)})
-		r.opts.progress("cache %s done", l.FullName())
+		t.AddRowCells([]string{l.FullName(), fmt.Sprint(rows[i].base), fmt.Sprint(rows[i].big), report.Pct(gain)})
 	}
 	t.AddRowCells([]string{"Mean", "", "", report.Pct(mean(gains))})
 	return t, nil
@@ -119,6 +152,7 @@ func (r *Runner) AblationCacheScaling() (*report.Table, error) {
 // retire-based eviction (the implementable design), the oracle, and a
 // never-evict buffer approaching the theoretical duplication limit.
 func (r *Runner) AblationEviction() (*report.Table, error) {
+	layers := r.opts.layers()
 	points := []struct {
 		name string
 		cfg  duplo.LHBConfig
@@ -132,25 +166,39 @@ func (r *Runner) AblationEviction() (*report.Table, error) {
 		headers = append(headers, p.name+" hit", p.name+" imp")
 	}
 	t := report.NewTable("Ablation: LHB eviction policy (§V-C)", headers...)
-	agg := make([][]float64, 2*len(points))
-	for _, l := range r.opts.layers() {
+	type cell struct{ hit, imp float64 }
+	cells := make([][]cell, len(layers))
+	for i := range cells {
+		cells[i] = make([]cell, len(points))
+	}
+	err := r.fanOut(len(layers)*len(points), func(idx int) error {
+		li, pi := idx/len(points), idx%len(points)
+		l := layers[li]
 		base, err := r.Baseline(l)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		dup, err := r.Duplo(l, points[pi].cfg)
+		if err != nil {
+			return err
+		}
+		cells[li][pi] = cell{dup.LHBHitRate(), sim.Speedup(base, dup)}
+		r.progress("evict %s %s done", l.FullName(), points[pi].name)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	agg := make([][]float64, 2*len(points))
+	for li, l := range layers {
 		row := []string{l.FullName()}
-		for i, p := range points {
-			dup, err := r.Duplo(l, p.cfg)
-			if err != nil {
-				return nil, err
-			}
-			hr, imp := dup.LHBHitRate(), sim.Speedup(base, dup)
-			agg[2*i] = append(agg[2*i], hr)
-			agg[2*i+1] = append(agg[2*i+1], imp)
-			row = append(row, report.PctU(hr), report.Pct(imp))
+		for pi := range points {
+			c := cells[li][pi]
+			agg[2*pi] = append(agg[2*pi], c.hit)
+			agg[2*pi+1] = append(agg[2*pi+1], c.imp)
+			row = append(row, report.PctU(c.hit), report.Pct(c.imp))
 		}
 		t.AddRowCells(row)
-		r.opts.progress("evict %s done", l.FullName())
 	}
 	g := []string{"Mean/Gmean"}
 	for i := range points {
@@ -164,29 +212,40 @@ func (r *Runner) AblationEviction() (*report.Table, error) {
 // plain modulo the Table II example implies (see internal/core): modulo
 // collapses power-of-two ID strides onto a few sets.
 func (r *Runner) AblationIndexing() (*report.Table, error) {
+	layers := r.opts.layers()
 	t := report.NewTable("Ablation: LHB index hashing",
 		"Layer", "Hashed hit", "Modulo hit", "Hashed imp", "Modulo imp")
-	var dh, dm []float64
-	for _, l := range r.opts.layers() {
+	type row struct {
+		hashHit, modHit, ih, im float64
+	}
+	rows := make([]row, len(layers))
+	err := r.forEachLayer(layers, func(i int, l workload.Layer) error {
 		base, err := r.Baseline(l)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		hash, err := r.Duplo(l, DefaultLHB)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		mod, err := r.Duplo(l, duplo.LHBConfig{Entries: 1024, Ways: 1, ModuloIndex: true})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		ih, im := sim.Speedup(base, hash), sim.Speedup(base, mod)
-		dh = append(dh, ih)
-		dm = append(dm, im)
+		rows[i] = row{hash.LHBHitRate(), mod.LHBHitRate(), sim.Speedup(base, hash), sim.Speedup(base, mod)}
+		r.progress("index %s done", l.FullName())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var dh, dm []float64
+	for i, l := range layers {
+		dh = append(dh, rows[i].ih)
+		dm = append(dm, rows[i].im)
 		t.AddRowCells([]string{l.FullName(),
-			report.PctU(hash.LHBHitRate()), report.PctU(mod.LHBHitRate()),
-			report.Pct(ih), report.Pct(im)})
-		r.opts.progress("index %s done", l.FullName())
+			report.PctU(rows[i].hashHit), report.PctU(rows[i].modHit),
+			report.Pct(rows[i].ih), report.Pct(rows[i].im)})
 	}
 	t.AddRowCells([]string{"Gmean", "", "", report.Pct(gmeanImprovement(dh)), report.Pct(gmeanImprovement(dm))})
 	return t, nil

@@ -5,24 +5,29 @@ import (
 
 	"duplo/internal/energy"
 	"duplo/internal/report"
+	"duplo/internal/workload"
 )
 
 // EnergyArea reproduces §V-H: on-chip energy reduction and LHB area
 // overhead relative to the register file (paper: -34.1% energy, +0.77%
 // area).
 func (r *Runner) EnergyArea() (*report.Table, error) {
+	layers := r.opts.layers()
 	m := energy.Default12nm()
 	t := report.NewTable("Section V-H: Energy and area",
 		"Layer", "Base on-chip (uJ)", "Duplo on-chip (uJ)", "Saving", "DRAM saving")
-	var savings, dramSavings []float64
-	for _, l := range r.opts.layers() {
+	type row struct {
+		baseNJ, dupNJ, saving, dramSaving float64
+	}
+	rows := make([]row, len(layers))
+	err := r.forEachLayer(layers, func(i int, l workload.Layer) error {
 		base, err := r.Baseline(l)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		dup, err := r.Duplo(l, DefaultLHB)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		be, de := energy.Energy(m, base), energy.Energy(m, dup)
 		s := energy.OnChipSaving(m, base, dup)
@@ -30,12 +35,20 @@ func (r *Runner) EnergyArea() (*report.Table, error) {
 		if be.DRAMNJ > 0 {
 			ds = 1 - de.DRAMNJ/be.DRAMNJ
 		}
-		savings = append(savings, s)
-		dramSavings = append(dramSavings, ds)
+		rows[i] = row{be.OnChipNJ, de.OnChipNJ, s, ds}
+		r.progress("energy %s done", l.FullName())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var savings, dramSavings []float64
+	for i, l := range layers {
+		savings = append(savings, rows[i].saving)
+		dramSavings = append(dramSavings, rows[i].dramSaving)
 		t.AddRowCells([]string{l.FullName(),
-			fmt.Sprintf("%.1f", be.OnChipNJ/1e3), fmt.Sprintf("%.1f", de.OnChipNJ/1e3),
-			report.Pct(s), report.Pct(ds)})
-		r.opts.progress("energy %s done", l.FullName())
+			fmt.Sprintf("%.1f", rows[i].baseNJ/1e3), fmt.Sprintf("%.1f", rows[i].dupNJ/1e3),
+			report.Pct(rows[i].saving), report.Pct(rows[i].dramSaving)})
 	}
 	t.AddRowCells([]string{"Mean", "", "", report.Pct(mean(savings)), report.Pct(mean(dramSavings))})
 	perEntry, totalBits := energy.LHBBits(1024)

@@ -2,10 +2,14 @@
 // evaluation (the per-experiment index lives in DESIGN.md §3). Each
 // experiment returns a report.Table so cmd/duploexp and the benchmark
 // harness share one implementation.
+//
+// Experiments fan their independent simulations out on a bounded worker
+// pool (see Runner); results are assembled in deterministic order, so a
+// table rendered with Workers=8 is byte-identical to the Workers=1 serial
+// output.
 package experiments
 
 import (
-	"fmt"
 	"math"
 
 	duplo "duplo/internal/core"
@@ -23,7 +27,10 @@ type Options struct {
 	SimSMs int
 	// Layers restricts the layer set (nil = all of Table I).
 	Layers []workload.Layer
-	// Verbose prints progress lines.
+	// Workers bounds concurrently executing simulations (0 = GOMAXPROCS;
+	// 1 = the serial path).
+	Workers int
+	// Verbose prints progress lines through Progress (stdout when nil).
 	Verbose  bool
 	Progress func(string)
 }
@@ -56,24 +63,6 @@ func (o Options) config() sim.Config {
 	return cfg
 }
 
-func (o Options) progress(format string, args ...interface{}) {
-	if o.Verbose && o.Progress != nil {
-		o.Progress(fmt.Sprintf(format, args...))
-	}
-}
-
-// Runner memoizes simulator runs so experiments sharing configurations
-// (Fig. 9 and Fig. 10, for instance) pay for each simulation once.
-type Runner struct {
-	opts  Options
-	cache map[string]sim.Result
-}
-
-// NewRunner builds a runner.
-func NewRunner(opts Options) *Runner {
-	return &Runner{opts: opts, cache: make(map[string]sim.Result)}
-}
-
 // LHBPoints is the Fig. 9/10 sweep: four sizes plus the oracle.
 var LHBPoints = []struct {
 	Name string
@@ -88,54 +77,6 @@ var LHBPoints = []struct {
 
 // DefaultLHB is the paper's chosen design point (§V-B).
 var DefaultLHB = duplo.LHBConfig{Entries: 1024, Ways: 1}
-
-// key builds a cache key for a kernel/config combination.
-func (r *Runner) key(kernelName string, cfg sim.Config) string {
-	d := cfg.DetectCfg
-	return fmt.Sprintf("%s|d=%v|e=%d,w=%d,o=%v,ne=%v,mi=%v|lat=%d|cta=%d|sm=%d|b=%d|rl=%d|l1=%d|l2=%d",
-		kernelName, cfg.Duplo, d.LHB.Entries, d.LHB.Ways, d.LHB.Oracle, d.LHB.NeverEvict, d.LHB.ModuloIndex,
-		d.LatencyCycles, cfg.MaxCTAs, cfg.SimSMs, 0, cfg.RetireDelay, cfg.L1KB, cfg.L2KB)
-}
-
-// Run simulates kernel k under cfg, memoized.
-func (r *Runner) Run(k *sim.Kernel, cfg sim.Config) (sim.Result, error) {
-	key := r.key(k.Name, cfg)
-	if res, ok := r.cache[key]; ok {
-		return res, nil
-	}
-	res, err := sim.Run(cfg, k)
-	if err != nil {
-		return sim.Result{}, err
-	}
-	r.cache[key] = res
-	return res, nil
-}
-
-// LayerKernel builds the forward tensor-core GEMM kernel for a layer.
-func LayerKernel(l workload.Layer) (*sim.Kernel, error) {
-	return sim.NewConvKernel(l.FullName(), l.GemmParams())
-}
-
-// Baseline runs the layer without Duplo.
-func (r *Runner) Baseline(l workload.Layer) (sim.Result, error) {
-	k, err := LayerKernel(l)
-	if err != nil {
-		return sim.Result{}, err
-	}
-	return r.Run(k, r.opts.config())
-}
-
-// Duplo runs the layer with the given LHB configuration.
-func (r *Runner) Duplo(l workload.Layer, lhb duplo.LHBConfig) (sim.Result, error) {
-	k, err := LayerKernel(l)
-	if err != nil {
-		return sim.Result{}, err
-	}
-	cfg := r.opts.config()
-	cfg.Duplo = true
-	cfg.DetectCfg.LHB = lhb
-	return r.Run(k, cfg)
-}
 
 // gmeanImprovement aggregates fractional improvements geometrically, the
 // way the paper's "Gmean" bars do.

@@ -10,39 +10,50 @@ import (
 
 // networkCycles estimates full-network execution time (in baseline cycles,
 // scaled from the simulated CTA prefix to the whole grid) for one pass.
+// The per-GEMM simulations fan out on the worker pool; the total is summed
+// in kernel order so the float result is bit-identical at any Workers.
 func (r *Runner) networkCycles(layers []workload.Layer, training, duploOn bool) (float64, error) {
-	total := 0.0
 	cfg := r.opts.config()
 	cfg.Duplo = duploOn
 	cfg.DetectCfg.LHB = DefaultLHB
+	var gemms []workload.TrainingGemm
 	for _, l := range layers {
-		var gemms []workload.TrainingGemm
 		if training {
-			gemms = workload.TrainingGemms(l)
+			gemms = append(gemms, workload.TrainingGemms(l)...)
 		} else {
 			p := l.GemmParams()
-			gemms = []workload.TrainingGemm{{Name: l.FullName() + "/fwd", Conv: &p}}
+			gemms = append(gemms, workload.TrainingGemm{Name: l.FullName() + "/fwd", Conv: &p})
 		}
-		for _, g := range gemms {
-			var k *sim.Kernel
-			var err error
-			if g.Conv != nil {
-				k, err = sim.NewConvKernel(g.Name, *g.Conv)
-			} else {
-				k, err = sim.NewGemmKernel(g.Name, g.M, g.N, g.K)
-			}
-			if err != nil {
-				return 0, err
-			}
-			res, err := r.Run(k, cfg)
-			if err != nil {
-				return 0, err
-			}
-			// Scale the simulated CTA prefix to the full grid.
-			scale := float64(res.TotalCTAs) / float64(res.SimulatedCTAs)
-			total += float64(res.Cycles) * scale
-			r.opts.progress("fig14 %s done (duplo=%v)", g.Name, duploOn)
+	}
+	cycles := make([]float64, len(gemms))
+	err := r.fanOut(len(gemms), func(i int) error {
+		g := gemms[i]
+		var k *sim.Kernel
+		var err error
+		if g.Conv != nil {
+			k, err = sim.NewConvKernel(g.Name, *g.Conv)
+		} else {
+			k, err = sim.NewGemmKernel(g.Name, g.M, g.N, g.K)
 		}
+		if err != nil {
+			return err
+		}
+		res, err := r.Run(k, cfg)
+		if err != nil {
+			return err
+		}
+		// Scale the simulated CTA prefix to the full grid.
+		scale := float64(res.TotalCTAs) / float64(res.SimulatedCTAs)
+		cycles[i] = float64(res.Cycles) * scale
+		r.progress("fig14 %s done (duplo=%v)", g.Name, duploOn)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, c := range cycles {
+		total += c
 	}
 	return total, nil
 }

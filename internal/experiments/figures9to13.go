@@ -6,35 +6,50 @@ import (
 	duplo "duplo/internal/core"
 	"duplo/internal/report"
 	"duplo/internal/sim"
+	"duplo/internal/workload"
 )
 
 // Fig9 reproduces Figure 9: per-layer performance improvement of Duplo over
 // the baseline for variable-sized LHBs (256 to 2048 entries plus the
-// oracle), ending with the gmean row.
+// oracle), ending with the gmean row. The layer x size sweep fans out on
+// the worker pool; rows are assembled in Table I order.
 func (r *Runner) Fig9() (*report.Table, error) {
+	layers := r.opts.layers()
 	headers := []string{"Layer"}
 	for _, p := range LHBPoints {
 		headers = append(headers, p.Name)
 	}
 	t := report.NewTable("Figure 9: Performance improvement vs LHB size", headers...)
-	agg := make([][]float64, len(LHBPoints))
-	for _, l := range r.opts.layers() {
+	imps := make([][]float64, len(layers))
+	for i := range imps {
+		imps[i] = make([]float64, len(LHBPoints))
+	}
+	err := r.fanOut(len(layers)*len(LHBPoints), func(idx int) error {
+		li, pi := idx/len(LHBPoints), idx%len(LHBPoints)
+		l := layers[li]
 		base, err := r.Baseline(l)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		dup, err := r.Duplo(l, LHBPoints[pi].Cfg)
+		if err != nil {
+			return err
+		}
+		imps[li][pi] = sim.Speedup(base, dup)
+		r.progress("fig9 %s %s done", l.FullName(), LHBPoints[pi].Name)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	agg := make([][]float64, len(LHBPoints))
+	for li, l := range layers {
 		row := []string{l.FullName()}
-		for i, pt := range LHBPoints {
-			dup, err := r.Duplo(l, pt.Cfg)
-			if err != nil {
-				return nil, err
-			}
-			imp := sim.Speedup(base, dup)
-			agg[i] = append(agg[i], imp)
-			row = append(row, report.Pct(imp))
+		for pi := range LHBPoints {
+			agg[pi] = append(agg[pi], imps[li][pi])
+			row = append(row, report.Pct(imps[li][pi]))
 		}
 		t.AddRowCells(row)
-		r.opts.progress("fig9 %s done", l.FullName())
 	}
 	g := []string{"Gmean"}
 	for i := range LHBPoints {
@@ -46,25 +61,37 @@ func (r *Runner) Fig9() (*report.Table, error) {
 
 // Fig10 reproduces Figure 10: LHB hit rate per layer for the same sweep.
 func (r *Runner) Fig10() (*report.Table, error) {
+	layers := r.opts.layers()
 	headers := []string{"Layer"}
 	for _, p := range LHBPoints {
 		headers = append(headers, p.Name)
 	}
 	t := report.NewTable("Figure 10: LHB hit rate vs size", headers...)
+	rates := make([][]float64, len(layers))
+	for i := range rates {
+		rates[i] = make([]float64, len(LHBPoints))
+	}
+	err := r.fanOut(len(layers)*len(LHBPoints), func(idx int) error {
+		li, pi := idx/len(LHBPoints), idx%len(LHBPoints)
+		dup, err := r.Duplo(layers[li], LHBPoints[pi].Cfg)
+		if err != nil {
+			return err
+		}
+		rates[li][pi] = dup.LHBHitRate()
+		r.progress("fig10 %s %s done", layers[li].FullName(), LHBPoints[pi].Name)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	agg := make([][]float64, len(LHBPoints))
-	for _, l := range r.opts.layers() {
+	for li, l := range layers {
 		row := []string{l.FullName()}
-		for i, pt := range LHBPoints {
-			dup, err := r.Duplo(l, pt.Cfg)
-			if err != nil {
-				return nil, err
-			}
-			hr := dup.LHBHitRate()
-			agg[i] = append(agg[i], hr)
-			row = append(row, report.PctU(hr))
+		for pi := range LHBPoints {
+			agg[pi] = append(agg[pi], rates[li][pi])
+			row = append(row, report.PctU(rates[li][pi]))
 		}
 		t.AddRowCells(row)
-		r.opts.progress("fig10 %s done", l.FullName())
 	}
 	g := []string{"Mean"}
 	for i := range LHBPoints {
@@ -74,41 +101,61 @@ func (r *Runner) Fig10() (*report.Table, error) {
 	return t, nil
 }
 
+// fig11Row carries one layer's pre-rendered baseline/Duplo rows and its
+// traffic deltas from a worker to the in-order assembly loop.
+type fig11Row struct {
+	baseCells, dupCells []string
+	dDRAM, dL1, dL2     float64
+}
+
 // Fig11 reproduces Figure 11: the breakdown of which memory-hierarchy level
 // services load data, baseline (B) vs Duplo with a 1024-entry LHB (D), plus
 // the traffic deltas the paper quotes (§V-D: DRAM -26.6%, L1 -28.1%,
 // L2 -19.2% on average).
 func (r *Runner) Fig11() (*report.Table, error) {
+	layers := r.opts.layers()
 	t := report.NewTable("Figure 11: Memory service breakdown (B=baseline, D=Duplo 1024)",
 		"Layer", "Cfg", "LHB", "L1$", "L2$", "DRAM", "dDRAM", "dL1svc", "dL2svc")
-	var dDRAM, dL1, dL2 []float64
-	for _, l := range r.opts.layers() {
+	rows := make([]fig11Row, len(layers))
+	err := r.forEachLayer(layers, func(i int, l workload.Layer) error {
 		base, err := r.Baseline(l)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		dup, err := r.Duplo(l, DefaultLHB)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		bb := base.ServiceBreakdown()
 		db := dup.ServiceBreakdown()
-		t.AddRowCells([]string{l.FullName(), "B",
-			report.PctU(bb[sim.ServiceLHB]), report.PctU(bb[sim.ServiceL1]),
-			report.PctU(bb[sim.ServiceL2]), report.PctU(bb[sim.ServiceDRAM]), "", "", ""})
 		rd := ratioDelta(dup.DRAMLines, base.DRAMLines)
 		// "Data services" deltas, like §V-D (not tag probes — Duplo still
 		// probes the L1 in parallel with the LHB).
 		rl1 := ratioDelta(dup.ServiceLines[sim.ServiceL1], base.ServiceLines[sim.ServiceL1])
 		rl2 := ratioDelta(dup.ServiceLines[sim.ServiceL2], base.ServiceLines[sim.ServiceL2])
-		dDRAM = append(dDRAM, rd)
-		dL1 = append(dL1, rl1)
-		dL2 = append(dL2, rl2)
-		t.AddRowCells([]string{"", "D",
-			report.PctU(db[sim.ServiceLHB]), report.PctU(db[sim.ServiceL1]),
-			report.PctU(db[sim.ServiceL2]), report.PctU(db[sim.ServiceDRAM]),
-			report.Pct(rd), report.Pct(rl1), report.Pct(rl2)})
-		r.opts.progress("fig11 %s done", l.FullName())
+		rows[i] = fig11Row{
+			baseCells: []string{l.FullName(), "B",
+				report.PctU(bb[sim.ServiceLHB]), report.PctU(bb[sim.ServiceL1]),
+				report.PctU(bb[sim.ServiceL2]), report.PctU(bb[sim.ServiceDRAM]), "", "", ""},
+			dupCells: []string{"", "D",
+				report.PctU(db[sim.ServiceLHB]), report.PctU(db[sim.ServiceL1]),
+				report.PctU(db[sim.ServiceL2]), report.PctU(db[sim.ServiceDRAM]),
+				report.Pct(rd), report.Pct(rl1), report.Pct(rl2)},
+			dDRAM: rd, dL1: rl1, dL2: rl2,
+		}
+		r.progress("fig11 %s done", l.FullName())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var dDRAM, dL1, dL2 []float64
+	for _, row := range rows {
+		t.AddRowCells(row.baseCells)
+		t.AddRowCells(row.dupCells)
+		dDRAM = append(dDRAM, row.dDRAM)
+		dL1 = append(dL1, row.dL1)
+		dL2 = append(dL2, row.dL2)
 	}
 	t.AddRowCells([]string{"Mean", "", "", "", "", "",
 		report.Pct(mean(dDRAM)), report.Pct(mean(dL1)), report.Pct(mean(dL2))})
@@ -125,6 +172,7 @@ func ratioDelta(a, b int64) float64 {
 // Fig12 reproduces Figure 12: set-associative LHBs (1024 entries total) vs
 // the direct-mapped default. The paper finds 8-way buys only ~3.6%.
 func (r *Runner) Fig12() (*report.Table, error) {
+	layers := r.opts.layers()
 	ways := []int{1, 2, 4, 8}
 	headers := []string{"Layer"}
 	for _, w := range ways {
@@ -135,24 +183,36 @@ func (r *Runner) Fig12() (*report.Table, error) {
 		}
 	}
 	t := report.NewTable("Figure 12: Performance improvement vs LHB associativity (1024 entries)", headers...)
-	agg := make([][]float64, len(ways))
-	for _, l := range r.opts.layers() {
+	imps := make([][]float64, len(layers))
+	for i := range imps {
+		imps[i] = make([]float64, len(ways))
+	}
+	err := r.fanOut(len(layers)*len(ways), func(idx int) error {
+		li, wi := idx/len(ways), idx%len(ways)
+		l := layers[li]
 		base, err := r.Baseline(l)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		dup, err := r.Duplo(l, duplo.LHBConfig{Entries: 1024, Ways: ways[wi]})
+		if err != nil {
+			return err
+		}
+		imps[li][wi] = sim.Speedup(base, dup)
+		r.progress("fig12 %s %d-way done", l.FullName(), ways[wi])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	agg := make([][]float64, len(ways))
+	for li, l := range layers {
 		row := []string{l.FullName()}
-		for i, w := range ways {
-			dup, err := r.Duplo(l, duplo.LHBConfig{Entries: 1024, Ways: w})
-			if err != nil {
-				return nil, err
-			}
-			imp := sim.Speedup(base, dup)
-			agg[i] = append(agg[i], imp)
-			row = append(row, report.Pct(imp))
+		for wi := range ways {
+			agg[wi] = append(agg[wi], imps[li][wi])
+			row = append(row, report.Pct(imps[li][wi]))
 		}
 		t.AddRowCells(row)
-		r.opts.progress("fig12 %s done", l.FullName())
 	}
 	g := []string{"Gmean"}
 	for i := range ways {
@@ -167,40 +227,53 @@ func (r *Runner) Fig12() (*report.Table, error) {
 // adding cross-image duplication, so the fixed-size LHB covers a smaller
 // fraction (§V-F).
 func (r *Runner) Fig13() (*report.Table, error) {
+	layers := r.opts.layers()
 	batches := []int{8, 16, 32}
 	headers := []string{"Layer"}
 	for _, b := range batches {
 		headers = append(headers, fmt.Sprintf("Batch %d", b))
 	}
 	t := report.NewTable("Figure 13: Performance improvement vs batch size (1024-entry LHB)", headers...)
+	imps := make([][]float64, len(layers))
+	for i := range imps {
+		imps[i] = make([]float64, len(batches))
+	}
+	err := r.fanOut(len(layers)*len(batches), func(idx int) error {
+		li, bi := idx/len(batches), idx%len(batches)
+		l, b := layers[li], batches[bi]
+		lb := l
+		lb.Params = l.Params.WithBatch(b)
+		k, err := LayerKernel(lb)
+		if err != nil {
+			return err
+		}
+		k.Name = fmt.Sprintf("%s@b%d", lb.FullName(), b)
+		cfg := r.opts.config()
+		base, err := r.Run(k, cfg)
+		if err != nil {
+			return err
+		}
+		cfg.Duplo = true
+		cfg.DetectCfg.LHB = DefaultLHB
+		dup, err := r.Run(k, cfg)
+		if err != nil {
+			return err
+		}
+		imps[li][bi] = sim.Speedup(base, dup)
+		r.progress("fig13 %s b%d done", l.FullName(), b)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	agg := make([][]float64, len(batches))
-	for _, l := range r.opts.layers() {
+	for li, l := range layers {
 		row := []string{l.FullName()}
-		for i, b := range batches {
-			lb := l
-			lb.Params = l.Params.WithBatch(b)
-			k, err := LayerKernel(lb)
-			if err != nil {
-				return nil, err
-			}
-			k.Name = fmt.Sprintf("%s@b%d", lb.FullName(), b)
-			cfg := r.opts.config()
-			base, err := r.Run(k, cfg)
-			if err != nil {
-				return nil, err
-			}
-			cfg.Duplo = true
-			cfg.DetectCfg.LHB = DefaultLHB
-			dup, err := r.Run(k, cfg)
-			if err != nil {
-				return nil, err
-			}
-			imp := sim.Speedup(base, dup)
-			agg[i] = append(agg[i], imp)
-			row = append(row, report.Pct(imp))
+		for bi := range batches {
+			agg[bi] = append(agg[bi], imps[li][bi])
+			row = append(row, report.Pct(imps[li][bi]))
 		}
 		t.AddRowCells(row)
-		r.opts.progress("fig13 %s done", l.FullName())
 	}
 	g := []string{"Gmean"}
 	for i := range batches {

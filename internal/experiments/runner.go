@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	duplo "duplo/internal/core"
+	"duplo/internal/report"
+	"duplo/internal/sim"
+	"duplo/internal/workload"
+)
+
+// Runner memoizes simulator runs so experiments sharing configurations
+// (Fig. 9 and Fig. 10, for instance) pay for each simulation once, and
+// executes independent simulations on a bounded worker pool.
+//
+// The cache is singleflight: when several goroutines request the same
+// (kernel, config) key concurrently, exactly one simulates and the rest
+// wait for its result. The pool bound applies to executing simulations
+// only — waiters hold no slot — so nested fan-outs (Fig. 14 launching
+// per-network sweeps that launch per-GEMM runs) cannot deadlock.
+type Runner struct {
+	opts    Options
+	workers int
+	sem     chan struct{} // bounds concurrently executing simulations
+	sink    *report.Sink  // nil unless Verbose
+
+	mu    sync.Mutex
+	cache map[string]*cacheEntry
+
+	execs atomic.Int64 // simulations actually executed (cache misses)
+}
+
+// cacheEntry is one singleflight slot: done closes when res/err are final.
+type cacheEntry struct {
+	done chan struct{}
+	res  sim.Result
+	err  error
+}
+
+// NewRunner builds a runner with opts.Workers pool slots (default
+// runtime.GOMAXPROCS(0)).
+func NewRunner(opts Options) *Runner {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	var sink *report.Sink
+	if opts.Verbose {
+		if opts.Progress != nil {
+			sink = report.NewSink(opts.Progress)
+		} else {
+			sink = report.NewWriterSink(os.Stdout)
+		}
+	}
+	return &Runner{
+		opts:    opts,
+		workers: w,
+		sem:     make(chan struct{}, w),
+		sink:    sink,
+		cache:   make(map[string]*cacheEntry),
+	}
+}
+
+// Workers returns the pool size.
+func (r *Runner) Workers() int { return r.workers }
+
+// Execs returns how many simulations actually ran (cache misses); cache
+// hits and coalesced concurrent requests do not count.
+func (r *Runner) Execs() int64 { return r.execs.Load() }
+
+// progress emits one formatted progress line through the concurrency-safe
+// sink (no-op unless Options.Verbose).
+func (r *Runner) progress(format string, args ...interface{}) {
+	if r.sink != nil {
+		r.sink.Println(fmt.Sprintf(format, args...))
+	}
+}
+
+// key builds a cache key for a kernel/config combination.
+func (r *Runner) key(kernelName string, cfg sim.Config) string {
+	d := cfg.DetectCfg
+	return fmt.Sprintf("%s|d=%v|e=%d,w=%d,o=%v,ne=%v,mi=%v|lat=%d|cta=%d|sm=%d|b=%d|rl=%d|l1=%d|l2=%d",
+		kernelName, cfg.Duplo, d.LHB.Entries, d.LHB.Ways, d.LHB.Oracle, d.LHB.NeverEvict, d.LHB.ModuloIndex,
+		d.LatencyCycles, cfg.MaxCTAs, cfg.SimSMs, 0, cfg.RetireDelay, cfg.L1KB, cfg.L2KB)
+}
+
+// Run simulates kernel k under cfg, memoized and singleflighted: safe for
+// concurrent use, and each unique key simulates exactly once.
+func (r *Runner) Run(k *sim.Kernel, cfg sim.Config) (sim.Result, error) {
+	key := r.key(k.Name, cfg)
+	r.mu.Lock()
+	if e, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		<-e.done
+		return e.res, e.err
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	r.cache[key] = e
+	r.mu.Unlock()
+
+	r.sem <- struct{}{}
+	r.execs.Add(1)
+	e.res, e.err = sim.Run(cfg, k)
+	<-r.sem
+	close(e.done)
+	return e.res, e.err
+}
+
+// fanOut runs n independent tasks on the worker pool and returns the
+// lowest-index error (deterministic regardless of completion order). With
+// Workers == 1 it degenerates to a plain serial loop — the serial path.
+// Tasks must write their outputs to disjoint, index-addressed slots so
+// assembly order is the caller's loop order, not completion order.
+func (r *Runner) fanOut(n int, f func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if r.workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = f(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// forEachLayer fans one task per layer out on the pool.
+func (r *Runner) forEachLayer(layers []workload.Layer, f func(i int, l workload.Layer) error) error {
+	return r.fanOut(len(layers), func(i int) error { return f(i, layers[i]) })
+}
+
+// LayerKernel builds the forward tensor-core GEMM kernel for a layer.
+func LayerKernel(l workload.Layer) (*sim.Kernel, error) {
+	return sim.NewConvKernel(l.FullName(), l.GemmParams())
+}
+
+// Baseline runs the layer without Duplo.
+func (r *Runner) Baseline(l workload.Layer) (sim.Result, error) {
+	k, err := LayerKernel(l)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return r.Run(k, r.opts.config())
+}
+
+// Duplo runs the layer with the given LHB configuration.
+func (r *Runner) Duplo(l workload.Layer, lhb duplo.LHBConfig) (sim.Result, error) {
+	k, err := LayerKernel(l)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	cfg := r.opts.config()
+	cfg.Duplo = true
+	cfg.DetectCfg.LHB = lhb
+	return r.Run(k, cfg)
+}

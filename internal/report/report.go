@@ -7,7 +7,42 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 )
+
+// Sink serializes progress lines from concurrent producers (the parallel
+// experiment engine emits per-layer progress from worker goroutines). A nil
+// *Sink is a valid no-op sink.
+type Sink struct {
+	mu   sync.Mutex
+	emit func(string)
+}
+
+// NewSink wraps an emit function in a concurrency-safe sink.
+func NewSink(emit func(string)) *Sink {
+	if emit == nil {
+		return nil
+	}
+	return &Sink{emit: emit}
+}
+
+// NewWriterSink builds a sink that writes one line per message to w.
+func NewWriterSink(w io.Writer) *Sink {
+	if w == nil {
+		return nil
+	}
+	return &Sink{emit: func(s string) { fmt.Fprintln(w, s) }}
+}
+
+// Println emits one message; safe for concurrent use, no-op on a nil sink.
+func (s *Sink) Println(msg string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.emit(msg)
+}
 
 // Table accumulates rows and renders them with aligned columns.
 type Table struct {

@@ -1,7 +1,9 @@
 package report
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -62,5 +64,40 @@ func TestAddRowCells(t *testing.T) {
 	tb.AddRowCells([]string{"y"})
 	if !strings.Contains(tb.String(), "y") {
 		t.Error("AddRowCells lost data")
+	}
+}
+
+// Sink must serialize concurrent producers and tolerate nil receivers.
+func TestSinkConcurrent(t *testing.T) {
+	var mu sync.Mutex
+	var got []string
+	s := NewSink(func(m string) { mu.Lock(); got = append(got, m); mu.Unlock() })
+	var wg sync.WaitGroup
+	const n = 64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.Println(fmt.Sprintf("line %d", i))
+		}(i)
+	}
+	wg.Wait()
+	if len(got) != n {
+		t.Fatalf("sink delivered %d/%d lines", len(got), n)
+	}
+	var nilSink *Sink
+	nilSink.Println("dropped") // must not panic
+	if NewSink(nil) != nil || NewWriterSink(nil) != nil {
+		t.Error("nil-backed sinks must be nil (no-op)")
+	}
+}
+
+func TestWriterSink(t *testing.T) {
+	var b strings.Builder
+	s := NewWriterSink(&b)
+	s.Println("a")
+	s.Println("b")
+	if b.String() != "a\nb\n" {
+		t.Errorf("writer sink output %q", b.String())
 	}
 }

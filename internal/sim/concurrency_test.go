@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	duplo "duplo/internal/core"
+)
+
+// TestRunConcurrentMatchesSerial runs the same set of configurations
+// serially and from concurrent goroutines (sharing one *Kernel) and
+// requires identical Results — the guarantee the parallel experiment
+// engine builds on. Run under -race this also audits that Run touches no
+// hidden shared state.
+func TestRunConcurrentMatchesSerial(t *testing.T) {
+	k, err := NewConvKernel("conc", testLayer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := make([]Config, 0, 4)
+	base := testConfig()
+	cfgs = append(cfgs, base)
+	for _, entries := range []int{256, 1024} {
+		c := testConfig()
+		c.Duplo = true
+		c.DetectCfg.LHB = duplo.LHBConfig{Entries: entries, Ways: 1}
+		cfgs = append(cfgs, c)
+	}
+	oracle := testConfig()
+	oracle.Duplo = true
+	oracle.DetectCfg.LHB = duplo.LHBConfig{Oracle: true}
+	cfgs = append(cfgs, oracle)
+
+	serial := make([]Result, len(cfgs))
+	for i, c := range cfgs {
+		r, err := Run(c, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = r
+	}
+
+	const rounds = 3 // each config simulated concurrently multiple times
+	results := make([]Result, len(cfgs)*rounds)
+	errs := make([]error, len(cfgs)*rounds)
+	var wg sync.WaitGroup
+	for g := 0; g < len(cfgs)*rounds; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g], errs[g] = Run(cfgs[g%len(cfgs)], k)
+		}(g)
+	}
+	wg.Wait()
+	for g := range results {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		want := serial[g%len(cfgs)]
+		if results[g].Stats != want.Stats {
+			t.Errorf("concurrent run %d diverged from serial:\n got %+v\nwant %+v",
+				g, results[g].Stats, want.Stats)
+		}
+	}
+}

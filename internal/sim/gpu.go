@@ -61,6 +61,16 @@ const maxSimCycles = int64(4) << 30
 // statistics. With cfg.Duplo set, each SM gets a detection unit programmed
 // with the kernel's convolution information (no-op for plain GEMM kernels,
 // whose loads all bypass).
+//
+// Run is safe for concurrent use: all simulation state (gpuState, smState,
+// memSystem, the per-SM detection units) is allocated per call, neither sim
+// nor internal/core holds package-level mutable state, and the Kernel is
+// only read. Callers may share one *Kernel across concurrent Runs but must
+// not mutate it (Name, Variant) while any Run is in flight. Run is also
+// deterministic: the same (cfg, kernel) pair always produces the same
+// Result — the cycle loop iterates slices only, never map order — which is
+// what lets the parallel experiment engine promise byte-identical tables at
+// any worker count.
 func Run(cfg Config, k *Kernel) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
