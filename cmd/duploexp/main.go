@@ -7,38 +7,64 @@
 //	duploexp -exp fig9 -ctas 192      # one experiment, more CTAs
 //	duploexp -exp fig14 -full         # uncapped grids (slow)
 //	duploexp -exp fig9 -workers 8     # bound the simulation worker pool
+//	duploexp -exp fig9 -cpuprofile cpu.pprof
 //	duploexp -exp table2
 //
 // Independent simulations run on a worker pool (default GOMAXPROCS wide;
 // -workers 1 forces the serial path). Tables are byte-identical at any
-// worker count.
+// worker count. -cpuprofile / -memprofile write pprof profiles of the
+// whole run for performance work on the engine.
 //
 // Experiments: table1 table2 table3 fig2 fig3 fig9 fig10 fig11 fig12 fig13
 // fig14 energy latency smem cache evict index limits.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"duplo/internal/experiments"
+	"duplo/internal/profiling"
 	"duplo/internal/report"
 )
 
-func main() {
-	var (
-		exp     = flag.String("exp", "all", "experiment id (see package doc) or 'all'")
-		ctas    = flag.Int("ctas", 96, "max CTAs simulated per kernel")
-		simSMs  = flag.Int("sms", 4, "number of SMs simulated")
-		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
-		full    = flag.Bool("full", false, "simulate full grids (removes the CTA cap; slow)")
-		verbose = flag.Bool("v", false, "print progress")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-	)
-	flag.Parse()
+var (
+	exp        = flag.String("exp", "all", "experiment id (see package doc) or 'all'")
+	ctas       = flag.Int("ctas", 96, "max CTAs simulated per kernel")
+	simSMs     = flag.Int("sms", 4, "number of SMs simulated")
+	workers    = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+	full       = flag.Bool("full", false, "simulate full grids (removes the CTA cap; slow)")
+	verbose    = flag.Bool("v", false, "print progress")
+	csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+)
 
+// errUnknownExperiment preserves the historical exit code 2 for a bad -exp.
+var errUnknownExperiment = errors.New("unknown experiment")
+
+func main() {
+	flag.Parse()
+	stop, err := profiling.Start(*cpuprofile, *memprofile)
+	if err == nil {
+		err = run()
+		if e := stop(); err == nil {
+			err = e
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "duploexp:", err)
+		if errors.Is(err, errUnknownExperiment) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	opts := experiments.Options{MaxCTAs: *ctas, SimSMs: *simSMs, Workers: *workers, Verbose: *verbose}
 	if *full {
 		opts.MaxCTAs = 0
@@ -85,8 +111,7 @@ func main() {
 		t0 := time.Now()
 		tbl, err := e.run()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "duploexp: %s: %v\n", e.id, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", e.id, err)
 		}
 		if *csv {
 			tbl.CSV(os.Stdout)
@@ -99,7 +124,7 @@ func main() {
 		fmt.Println()
 	}
 	if !found {
-		fmt.Fprintf(os.Stderr, "duploexp: unknown experiment %q\n", *exp)
-		os.Exit(2)
+		return fmt.Errorf("%w %q", errUnknownExperiment, *exp)
 	}
+	return nil
 }

@@ -8,9 +8,12 @@
 //	duplosim -net YOLO -layer C4 -lhb 2048 -ways 8
 //	duplosim -net GAN -layer TC1 -oracle -ctas 192
 //	duplosim -net ResNet -layer C2 -workers 2      # baseline and Duplo in parallel
+//	duplosim -net ResNet -layer C2 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // With -workers > 1 (default GOMAXPROCS) the baseline and Duplo
 // simulations run concurrently; output order and values are unchanged.
+// -cpuprofile / -memprofile write pprof profiles of the simulator itself;
+// -dense forces the one-cycle-at-a-time reference clock.
 package main
 
 import (
@@ -21,40 +24,57 @@ import (
 
 	duplo "duplo/internal/core"
 	"duplo/internal/experiments"
+	"duplo/internal/profiling"
 	"duplo/internal/sim"
 	"duplo/internal/workload"
 )
 
-func main() {
-	var (
-		net     = flag.String("net", "ResNet", "network (ResNet, GAN, YOLO)")
-		layer   = flag.String("layer", "C2", "layer name from Table I (C1.., TC1..)")
-		lhb     = flag.Int("lhb", 1024, "LHB entries")
-		ways    = flag.Int("ways", 1, "LHB associativity")
-		oracle  = flag.Bool("oracle", false, "infinite LHB")
-		ctas    = flag.Int("ctas", 96, "max CTAs simulated (0 = full grid)")
-		simSMs  = flag.Int("sms", 4, "SMs simulated")
-		batch   = flag.Int("batch", 0, "override batch size (default Table I's 8)")
-		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
-	)
-	flag.Parse()
+var (
+	net        = flag.String("net", "ResNet", "network (ResNet, GAN, YOLO)")
+	layer      = flag.String("layer", "C2", "layer name from Table I (C1.., TC1..)")
+	lhb        = flag.Int("lhb", 1024, "LHB entries")
+	ways       = flag.Int("ways", 1, "LHB associativity")
+	oracle     = flag.Bool("oracle", false, "infinite LHB")
+	ctas       = flag.Int("ctas", 96, "max CTAs simulated (0 = full grid)")
+	simSMs     = flag.Int("sms", 4, "SMs simulated")
+	batch      = flag.Int("batch", 0, "override batch size (default Table I's 8)")
+	workers    = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+	dense      = flag.Bool("dense", false, "force the dense (non-cycle-skipping) clock")
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+)
 
-	l, err := workload.Find(*net, *layer)
+func main() {
+	flag.Parse()
+	stop, err := profiling.Start(*cpuprofile, *memprofile)
+	if err == nil {
+		err = run()
+		if e := stop(); err == nil {
+			err = e
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "duplosim:", err)
 		os.Exit(1)
+	}
+}
+
+func run() error {
+	l, err := workload.Find(*net, *layer)
+	if err != nil {
+		return err
 	}
 	if *batch > 0 {
 		l.Params = l.Params.WithBatch(*batch)
 	}
 	k, err := sim.NewConvKernel(l.FullName(), l.GemmParams())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "duplosim:", err)
-		os.Exit(1)
+		return err
 	}
 	cfg := sim.TitanVConfig()
 	cfg.MaxCTAs = *ctas
 	cfg.SimSMs = *simSMs
+	cfg.DenseClock = *dense
 
 	fmt.Printf("%s: %v\n", l.FullName(), l.GemmParams())
 	fmt.Printf("GEMM %dx%dx%d (padded %dx%dx%d), %d CTAs total, simulating %d on %d SMs\n\n",
@@ -76,8 +96,7 @@ func main() {
 	wg.Wait()
 	for _, err := range []error{baseErr, dupErr} {
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "duplosim:", err)
-			os.Exit(1)
+			return err
 		}
 	}
 	printStats("baseline", base)
@@ -88,6 +107,7 @@ func main() {
 		100*(float64(dup.DRAMLines)/float64(base.DRAMLines)-1))
 	fmt.Printf("LHB hit rate:            %.1f%% (%d lookups, %d hits)\n",
 		100*dup.LHBHitRate(), dup.LHB.Lookups, dup.LHB.Hits)
+	return nil
 }
 
 func printStats(name string, r sim.Result) {
@@ -95,7 +115,7 @@ func printStats(name string, r sim.Result) {
 	fmt.Printf("  cycles            %12d\n", r.Cycles)
 	fmt.Printf("  instructions      %12d (loads %d, MMAs %d, stores %d)\n",
 		r.Instructions, r.TensorLoads, r.MMAs, r.Stores)
-	fmt.Printf("  loads eliminated  %12d\n", r.LoadsEliminted)
+	fmt.Printf("  loads eliminated  %12d\n", r.LoadsEliminated)
 	fmt.Printf("  L1 accesses/hits  %12d / %d\n", r.L1Accesses, r.L1Hits)
 	fmt.Printf("  L2 accesses/hits  %12d / %d\n", r.L2Accesses, r.L2Hits)
 	fmt.Printf("  DRAM lines        %12d\n", r.DRAMLines)

@@ -67,6 +67,6 @@ func main() {
 
 	fmt.Printf("baseline: %d cycles, %d DRAM lines\n", base.Cycles, base.DRAMLines)
 	fmt.Printf("duplo:    %d cycles, %d DRAM lines, %d loads eliminated (LHB hit rate %.1f%%)\n",
-		dup.Cycles, dup.DRAMLines, dup.LoadsEliminted, 100*dup.LHBHitRate())
+		dup.Cycles, dup.DRAMLines, dup.LoadsEliminated, 100*dup.LHBHitRate())
 	fmt.Printf("performance improvement: %+.1f%%\n", 100*sim.Speedup(base, dup))
 }

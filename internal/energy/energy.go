@@ -71,7 +71,7 @@ func Energy(m Model, r sim.Result) Breakdown {
 	// threads' registers; eliminated loads still write the rename table
 	// (counted in LHB) but skip the RF fill... they share the existing
 	// registers, so only the original fill paid the RF write.
-	warpRegEvents := float64(r.TensorLoads-r.LoadsEliminted)*32 +
+	warpRegEvents := float64(r.TensorLoads-r.LoadsEliminated)*32 +
 		float64(r.MMAs)*32*4 + float64(r.Stores)*32*2
 	b.RegisterNJ = warpRegEvents * m.RegAccessPJ / 1e3
 	if r.LHB.Lookups > 0 {
@@ -79,18 +79,18 @@ func Energy(m Model, r sim.Result) Breakdown {
 	}
 	// LHB hits cancel the parallel L1 lookup before the data array is
 	// read: those probes cost tag energy only (§IV-B / §V-H).
-	fullL1 := r.L1Accesses - r.LoadsEliminted
+	fullL1 := r.L1Accesses - r.LoadsEliminated
 	if fullL1 < 0 {
 		fullL1 = 0
 	}
-	b.L1NJ = (float64(fullL1)*m.L1AccessPJ + float64(r.LoadsEliminted)*m.L1TagPJ) / 1e3
+	b.L1NJ = (float64(fullL1)*m.L1AccessPJ + float64(r.LoadsEliminated)*m.L1TagPJ) / 1e3
 	b.L2NJ = float64(r.L2Accesses) * m.L2AccessPJ / 1e3
 	// A warp MMA is 16x16x16 = 4096 MACs = 1024 FEDP steps.
 	b.TensorNJ = float64(r.MMAs) * 1024 * m.FEDPOpPJ / 1e3
 	b.DRAMNJ = float64(r.DRAMLines+r.StoreLines) * m.DRAMLinePJ / 1e3
 	b.OnChipNJ = b.RegisterNJ + b.LHBNJ + b.L1NJ + b.L2NJ
 	b.TotalNJ = b.OnChipNJ + b.TensorNJ + b.DRAMNJ
-	b.LoadsRemove = uint64(r.LoadsEliminted)
+	b.LoadsRemove = uint64(r.LoadsEliminated)
 	return b
 }
 

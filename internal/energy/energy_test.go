@@ -16,7 +16,7 @@ func fakeResult(duplo bool) sim.Result {
 	r.DRAMLines = 9000
 	r.StoreLines = 800
 	if duplo {
-		r.LoadsEliminted = 9000
+		r.LoadsEliminated = 9000
 		r.LHB.Lookups = 14000
 		r.LHB.Hits = 9000
 		r.L1Accesses = 35000

@@ -3,6 +3,7 @@ package sim
 import (
 	"testing"
 
+	"duplo/internal/conv"
 	duplo "duplo/internal/core"
 )
 
@@ -49,6 +50,46 @@ func BenchmarkSimDuplo(b *testing.B) {
 	}
 	b.ReportMetric(100*imp, "hit_rate_%")
 }
+
+// benchMemBoundLayer is ResNet C6-shaped: a deep-K 3x3 stride-1 layer
+// whose fills dominate under the shrunken caches below.
+var benchMemBoundLayer = conv.Params{N: 8, H: 14, W: 14, C: 256, K: 256, FH: 3, FW: 3, Pad: 1, Stride: 1}
+
+// memBoundConfig is a quick-scale Titan-V slice with shrunken caches:
+// fills go to DRAM, occupancy is low, and most cycles are dead — the
+// regime the event-driven clock targets (and Duplo's §V sweet spot).
+func memBoundConfig() Config {
+	cfg := TitanVConfig()
+	cfg.SimSMs = 2
+	cfg.MaxCTAs = 8
+	cfg.L1KB = 8
+	cfg.L2KB = 64
+	return cfg
+}
+
+func benchClock(b *testing.B, dense bool) {
+	k, err := NewConvKernel("clock-bench", benchMemBoundLayer)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := memBoundConfig()
+	cfg.DenseClock = dense
+	b.ResetTimer()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Cycles
+	}
+	b.ReportMetric(float64(cycles), "cycles")
+}
+
+// BenchmarkRunDense vs BenchmarkRunEventDriven measure the cycle-skipping
+// payoff on a memory-bound layer (ratio recorded in EXPERIMENTS.md).
+func BenchmarkRunDense(b *testing.B)       { benchClock(b, true) }
+func BenchmarkRunEventDriven(b *testing.B) { benchClock(b, false) }
 
 func BenchmarkWarpProgramDecode(b *testing.B) {
 	k, _ := NewConvKernel("bench", testLayer)

@@ -80,6 +80,13 @@ type Config struct {
 	// preserves hit rates and speedup shape (DESIGN.md §3).
 	MaxCTAs int
 
+	// DenseClock forces the dense one-cycle-at-a-time loop instead of the
+	// default event-driven clock that skips cycles where no SM can make
+	// progress. Results are byte-identical either way (the differential
+	// test in clock_test.go is the gate); the flag exists as an escape
+	// hatch and as the baseline for the clocking benchmarks.
+	DenseClock bool
+
 	// Duplo enables the detection unit; DetectCfg configures it.
 	Duplo     bool
 	DetectCfg duplo.DetectionUnitConfig

@@ -71,6 +71,15 @@ const maxSimCycles = int64(4) << 30
 // Result — the cycle loop iterates slices only, never map order — which is
 // what lets the parallel experiment engine promise byte-identical tables at
 // any worker count.
+//
+// Clocking: by default the cycle loop is event-driven — when a tick issues
+// nothing chip-wide, the dispatcher jumps `now` straight to the minimum
+// nextWake cycle over all SMs instead of re-ticking every dead cycle, and
+// accounts the skipped span's stall counters arithmetically. Every Stats
+// field (including IssueStallCycles / LDSTStallCycles) is byte-identical to
+// the dense one-cycle-at-a-time loop, which remains available behind
+// cfg.DenseClock (asserted by TestClockModesByteIdentical; see DESIGN.md
+// §3 "Clocking").
 func Run(cfg Config, k *Kernel) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
@@ -110,16 +119,40 @@ func Run(cfg Config, k *Kernel) (Result, error) {
 	}
 
 	var now int64
+	blocked := make([]int, len(g.sms)) // per-SM ldst-blocked schedulers this tick
 	for {
 		busy := false
-		for _, sm := range g.sms {
-			sm.tick(now)
+		issued := 0
+		for i, sm := range g.sms {
+			iss, blk := sm.tick(now)
+			issued += iss
+			blocked[i] = blk
 			if sm.busy() {
 				busy = true
 			}
 		}
 		if !busy && g.nextCTA >= g.totalCTAs {
 			break
+		}
+		if issued == 0 && !cfg.DenseClock {
+			wake := farFuture
+			for _, sm := range g.sms {
+				if w := sm.nextWake(now); w < wake {
+					wake = w
+				}
+			}
+			if span := wake - now - 1; span > 0 && wake < farFuture {
+				// Dead span (now, wake): every state-change driver is in
+				// the wake set, so each skipped cycle would have stalled
+				// all schedulers of every SM — with the same per-SM LDST
+				// blockage this tick observed. Account those ticks
+				// arithmetically instead of running them.
+				for i, sm := range g.sms {
+					sm.stats.IssueStallCycles += span * int64(cfg.Schedulers)
+					sm.stats.LDSTStallCycles += span * int64(blocked[i])
+				}
+				now = wake - 1 // the increment below lands on the wake cycle
+			}
 		}
 		now++
 		if now > maxSimCycles {

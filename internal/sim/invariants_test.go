@@ -47,11 +47,11 @@ func checkInvariants(t *testing.T, r Result, duploOn bool) {
 	}
 	// Eliminated loads never exceed LHB hits, and both are zero without
 	// Duplo.
-	if !duploOn && (r.LoadsEliminted != 0 || r.LHB.Hits != 0) {
+	if !duploOn && (r.LoadsEliminated != 0 || r.LHB.Hits != 0) {
 		t.Error("baseline produced Duplo activity")
 	}
-	if duploOn && r.LoadsEliminted != int64(r.LHB.Hits) {
-		t.Errorf("eliminated %d != LHB hits %d", r.LoadsEliminted, r.LHB.Hits)
+	if duploOn && r.LoadsEliminated != int64(r.LHB.Hits) {
+		t.Errorf("eliminated %d != LHB hits %d", r.LoadsEliminated, r.LHB.Hits)
 	}
 	if r.LHB.Hits+r.LHB.Misses != r.LHB.Lookups {
 		t.Errorf("LHB hits+misses %d != lookups %d", r.LHB.Hits+r.LHB.Misses, r.LHB.Lookups)

@@ -198,7 +198,7 @@ func TestRunBaselineCompletes(t *testing.T) {
 	if res.TensorLoads == 0 || res.MMAs == 0 || res.Stores == 0 {
 		t.Fatalf("missing instruction classes: %+v", res.Stats)
 	}
-	if res.LoadsEliminted != 0 || res.LHB.Lookups != 0 {
+	if res.LoadsEliminated != 0 || res.LHB.Lookups != 0 {
 		t.Fatal("baseline must not touch the LHB")
 	}
 	if res.DRAMLines == 0 {
@@ -225,7 +225,7 @@ func TestRunDuploFasterAndCorrectCounts(t *testing.T) {
 	if dup.LHB.Lookups == 0 || dup.LHB.Hits == 0 {
 		t.Fatalf("expected LHB activity: %+v", dup.LHB)
 	}
-	if dup.LoadsEliminted == 0 {
+	if dup.LoadsEliminated == 0 {
 		t.Fatal("expected eliminated loads")
 	}
 	if dup.Cycles >= base.Cycles {
@@ -276,7 +276,7 @@ func TestRunPlainGemmBypasses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.LHB.Lookups != 0 || res.LoadsEliminted != 0 {
+	if res.LHB.Lookups != 0 || res.LoadsEliminated != 0 {
 		t.Fatalf("plain GEMM must bypass the LHB: %+v", res.LHB)
 	}
 	if res.Cycles <= 0 {

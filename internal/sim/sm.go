@@ -127,13 +127,23 @@ func (sm *smState) placeCTA(k *Kernel, cta int, launchSeq int64) {
 				continue
 			}
 			wc := &sm.warps[s]
+			// Recycle the slot's regReady backing array across CTA waves.
+			rr := wc.regReady
+			if cap(rr) < prog.RegGroups() {
+				rr = make([]int64, prog.RegGroups())
+			} else {
+				rr = rr[:prog.RegGroups()]
+				for i := range rr {
+					rr[i] = 0
+				}
+			}
 			*wc = warpCtx{
 				active:   true,
 				prog:     prog,
 				slot:     s,
 				cta:      cta,
 				age:      launchSeq*int64(warpsPerCTA) + int64(w),
-				regReady: make([]int64, prog.RegGroups()),
+				regReady: rr,
 				rob:      wc.rob[:0],
 			}
 			placed++
@@ -150,14 +160,23 @@ func (sm *smState) placeCTA(k *Kernel, cta int, launchSeq int64) {
 	_ = placed
 }
 
-// tick advances the SM by one cycle.
-func (sm *smState) tick(now int64) {
+// tick advances the SM by one cycle. It returns how many instructions
+// issued and how many schedulers stalled on a full LDST queue this cycle;
+// the dispatcher uses both to decide whether the chip is dead at `now` and,
+// if so, to account the skipped span's stall counters arithmetically.
+func (sm *smState) tick(now int64) (issued, ldstBlocked int) {
 	sm.releaseLHB(now)
 	sm.retire(now)
 	sm.drainLDST(now)
 	for sid := 0; sid < sm.cfg.Schedulers; sid++ {
-		sm.scheduleOne(sid, now)
+		ok, blocked := sm.scheduleOne(sid, now)
+		if ok {
+			issued++
+		} else if blocked {
+			ldstBlocked++
+		}
 	}
+	return issued, ldstBlocked
 }
 
 // retire pops completed instructions in program order per warp. Retired
@@ -228,7 +247,9 @@ func (sm *smState) drainLDST(now int64) {
 }
 
 // scheduleOne runs one warp scheduler for one cycle: greedy-then-oldest.
-func (sm *smState) scheduleOne(sid int, now int64) {
+// It reports whether an instruction issued and, when it did not, whether
+// the stall was (at least partly) caused by a full LDST queue.
+func (sm *smState) scheduleOne(sid int, now int64) (issued, blocked bool) {
 	// Candidate order: the greedy warp first, then all of this scheduler's
 	// warps oldest-first.
 	ldstBlocked := false
@@ -244,7 +265,7 @@ func (sm *smState) scheduleOne(sid int, now int64) {
 		return ok
 	}
 	if g := sm.greedy[sid]; g >= 0 && try(g) {
-		return
+		return true, false
 	}
 	// Oldest-first scan over this scheduler's warp slots.
 	best := -1
@@ -268,13 +289,14 @@ func (sm *smState) scheduleOne(sid int, now int64) {
 		w := &sm.warps[best]
 		sm.tryIssue(sid, w, now)
 		sm.greedy[sid] = best
-		return
+		return true, false
 	}
 	sm.greedy[sid] = -1
 	sm.stats.IssueStallCycles++
 	if ldstBlocked {
 		sm.stats.LDSTStallCycles++
 	}
+	return false, ldstBlocked
 }
 
 // canIssue checks issueability without side effects.
@@ -360,7 +382,7 @@ func (sm *smState) issueLoad(w *warpCtx, in Instr, now int64) {
 				// consumer waits for the original load's data via the
 				// scoreboard (entry meta carries its ready cycle).
 				hit = true
-				sm.stats.LoadsEliminted++
+				sm.stats.LoadsEliminated++
 				t := now + int64(sm.du.Latency())
 				if res.Meta > t {
 					t = res.Meta
@@ -376,19 +398,17 @@ func (sm *smState) issueLoad(w *warpCtx, in Instr, now int64) {
 		if !hit {
 			anyMem = true
 			// Collect this row's line(s), deduplicated across miss rows.
+			// Row addresses are monotone (RowPitch > 0) and each row's
+			// lines are contiguous, so collected lines are monotone too: a
+			// candidate can only duplicate the tail of what is already
+			// collected, never land in a gap below it.
 			first := rowAddr &^ (lb - 1)
 			last := (rowAddr + uint64(in.RowBytes) - 1) &^ (lb - 1)
 			for line := first; line <= last; line += lb {
-				dup := false
-				for _, v := range sm.lineBuf {
-					if v == line {
-						dup = true
-						break
-					}
+				if n := len(sm.lineBuf); n > 0 && line <= sm.lineBuf[n-1] {
+					continue
 				}
-				if !dup {
-					sm.lineBuf = append(sm.lineBuf, line)
-				}
+				sm.lineBuf = append(sm.lineBuf, line)
 			}
 		}
 	}
@@ -478,3 +498,94 @@ func (sm *smState) issueStore(w *warpCtx, in Instr, now int64) {
 
 // busy reports whether any warp is resident.
 func (sm *smState) busy() bool { return sm.resident > 0 }
+
+// farFuture is the sentinel wake cycle for "no pending event".
+const farFuture = int64(1) << 62
+
+// nextWake returns a conservative lower bound (> now, or farFuture when the
+// SM has nothing pending) on the next cycle at which this SM's tick could
+// do anything a fully-stalled dense tick would not: issue an instruction,
+// retire a ROB entry, release an LHB entry, or drain an LDST queue slot.
+// The dispatcher calls it only after a tick(now) that issued nothing
+// chip-wide, so every active warp is gated on one of the events below; the
+// wake set is
+//
+//   - the earliest ldstBusy drain (opens LDST queue back-pressure),
+//   - the head lhbRelease.at (LHB entry releases run at exact cycles),
+//   - the L1 tag port's free cycle,
+//   - per active warp: the head ROB entry's complete cycle (in-order
+//     retire, so the head always pops first), and the gate of its current
+//     instruction — the blocking regReady cycles, or the processing-block
+//     free cycle once an MMA's operands are all ready.
+//
+// Any stale event (<= now) clamps to now+1 — the clock may refuse to skip,
+// but can never be sent backwards or past a wake (the deadlock guard,
+// asserted by TestNextWakeNeverInPast).
+func (sm *smState) nextWake(now int64) int64 {
+	wake := farFuture
+	add := func(t int64) {
+		if t <= now {
+			t = now + 1
+		}
+		if t < wake {
+			wake = t
+		}
+	}
+	minLdst := farFuture
+	for _, t := range sm.ldstBusy {
+		if t < minLdst {
+			minLdst = t
+		}
+	}
+	if minLdst < farFuture {
+		add(minLdst)
+	}
+	if len(sm.lhbRelease) > 0 {
+		add(sm.lhbRelease[0].at) // FIFO with monotone times: head is earliest
+	}
+	if sm.l1Port > now {
+		add(sm.l1Port)
+	}
+	for s := range sm.warps {
+		w := &sm.warps[s]
+		if !w.active {
+			continue
+		}
+		if !w.robEmpty() {
+			add(w.rob[w.robHead].complete)
+		}
+		if w.pc >= w.prog.Len() {
+			continue
+		}
+		w.decode()
+		in := &w.cur
+		switch in.Op {
+		case OpLoadA, OpLoadB, OpStoreD:
+			reg := in.Dst
+			if in.Op == OpStoreD {
+				reg = in.SrcA
+			}
+			if t := w.regReady[reg]; t > now {
+				add(t)
+			} else if len(sm.ldstBusy) == 0 {
+				// A ready memory op can only be gated by a full LDST
+				// queue; an empty queue here is inconsistent — wake
+				// immediately instead of risking a missed event.
+				add(now + 1)
+			}
+		case OpMMA:
+			gated := false
+			for _, rg := range [...]uint8{in.SrcA, in.SrcB, in.Dst} {
+				if t := w.regReady[rg]; t > now {
+					add(t)
+					gated = true
+				}
+			}
+			if !gated {
+				// Operands ready: the gate is the processing block.
+				add(sm.pbFree[s%sm.cfg.Schedulers])
+			}
+		}
+	}
+	return wake
+}

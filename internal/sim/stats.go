@@ -36,7 +36,7 @@ type Stats struct {
 	// Instruction counts (warp-level).
 	Instructions   int64
 	TensorLoads    int64 // wmma.load.a/b issued
-	LoadsEliminted int64 // tensor-core-loads removed by Duplo renaming
+	LoadsEliminated int64 // tensor-core-loads removed by Duplo renaming
 	MMAs           int64
 	Stores         int64
 
@@ -68,7 +68,7 @@ type Stats struct {
 func (s *Stats) Add(o Stats) {
 	s.Instructions += o.Instructions
 	s.TensorLoads += o.TensorLoads
-	s.LoadsEliminted += o.LoadsEliminted
+	s.LoadsEliminated += o.LoadsEliminated
 	s.MMAs += o.MMAs
 	s.Stores += o.Stores
 	s.IssueStallCycles += o.IssueStallCycles
@@ -104,7 +104,7 @@ func (s Stats) EliminatedFraction() float64 {
 	if s.TensorLoads == 0 {
 		return 0
 	}
-	return float64(s.LoadsEliminted) / float64(s.TensorLoads)
+	return float64(s.LoadsEliminated) / float64(s.TensorLoads)
 }
 
 // ServiceBreakdown returns the fraction of load line-equivalents served by
