@@ -15,6 +15,14 @@
 // worker count. -cpuprofile / -memprofile write pprof profiles of the
 // whole run for performance work on the engine.
 //
+// -trace-cell "Net/Layer" re-simulates one cell at the same scale with the
+// event tracer attached and writes a Perfetto timeline (-trace) and/or an
+// interval-metrics CSV (-metrics-csv) for it; -trace-duplo=false traces
+// the baseline run instead of Duplo. -exp none skips the experiment tables
+// for trace-only invocations:
+//
+//	duploexp -exp none -trace-cell ResNet/C2 -trace c2.trace.json
+//
 // Experiments: table1 table2 table3 fig2 fig3 fig9 fig10 fig11 fig12 fig13
 // fig14 energy latency smem cache evict index limits.
 package main
@@ -23,16 +31,19 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"time"
 
 	"duplo/internal/experiments"
 	"duplo/internal/profiling"
 	"duplo/internal/report"
+	"duplo/internal/workload"
 )
 
 var (
-	exp        = flag.String("exp", "all", "experiment id (see package doc) or 'all'")
+	exp        = flag.String("exp", "all", "experiment id (see package doc), 'all', or 'none'")
 	ctas       = flag.Int("ctas", 96, "max CTAs simulated per kernel")
 	simSMs     = flag.Int("sms", 4, "number of SMs simulated")
 	workers    = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
@@ -41,6 +52,11 @@ var (
 	csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	traceCell  = flag.String("trace-cell", "", `trace one cell "Net/Layer" (e.g. ResNet/C2)`)
+	traceOut   = flag.String("trace", "", "write the traced cell's Perfetto/Chrome timeline to this file")
+	metricsCSV = flag.String("metrics-csv", "", "write the traced cell's per-interval metrics CSV to this file")
+	traceDuplo = flag.Bool("trace-duplo", true, "trace the cell's Duplo run (false = baseline)")
+	interval   = flag.Int64("interval", 10000, "metrics interval in cycles for the traced cell")
 )
 
 // errUnknownExperiment preserves the historical exit code 2 for a bad -exp.
@@ -102,29 +118,84 @@ func run() error {
 		{"index", r.AblationIndexing},
 	}
 
-	found := false
-	for _, e := range all {
-		if *exp != "all" && *exp != e.id {
-			continue
+	if *exp != "none" {
+		found := false
+		for _, e := range all {
+			if *exp != "all" && *exp != e.id {
+				continue
+			}
+			found = true
+			t0 := time.Now()
+			tbl, err := e.run()
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.id, err)
+			}
+			if *csv {
+				tbl.CSV(os.Stdout)
+			} else {
+				tbl.Render(os.Stdout)
+			}
+			if *verbose {
+				fmt.Fprintf(os.Stderr, "[%s took %v]\n", e.id, time.Since(t0).Round(time.Millisecond))
+			}
+			fmt.Println()
 		}
-		found = true
-		t0 := time.Now()
-		tbl, err := e.run()
+		if !found {
+			return fmt.Errorf("%w %q", errUnknownExperiment, *exp)
+		}
+	}
+	return traceCellRun(r)
+}
+
+// traceCellRun re-simulates the -trace-cell cell with the event collector
+// attached (bypassing the run cache) and writes the requested exports.
+func traceCellRun(r *experiments.Runner) error {
+	if *traceCell == "" {
+		if *traceOut != "" || *metricsCSV != "" {
+			return errors.New("-trace/-metrics-csv need -trace-cell \"Net/Layer\"")
+		}
+		return nil
+	}
+	netName, layerName, ok := strings.Cut(*traceCell, "/")
+	if !ok {
+		return fmt.Errorf("-trace-cell must be \"Net/Layer\", got %q", *traceCell)
+	}
+	l, err := workload.Find(netName, layerName)
+	if err != nil {
+		return err
+	}
+	res, col, err := r.TraceRun(l, *traceDuplo, *interval, 0)
+	if err != nil {
+		return err
+	}
+	write := func(path string, dump func(io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
 		if err != nil {
-			return fmt.Errorf("%s: %w", e.id, err)
+			return err
 		}
-		if *csv {
-			tbl.CSV(os.Stdout)
-		} else {
-			tbl.Render(os.Stdout)
+		if err := dump(f); err != nil {
+			f.Close()
+			return err
 		}
-		if *verbose {
-			fmt.Fprintf(os.Stderr, "[%s took %v]\n", e.id, time.Since(t0).Round(time.Millisecond))
-		}
-		fmt.Println()
+		return f.Close()
 	}
-	if !found {
-		return fmt.Errorf("%w %q", errUnknownExperiment, *exp)
+	if err := write(*traceOut, col.WritePerfetto); err != nil {
+		return err
 	}
+	if err := write(*metricsCSV, col.WriteCSV); err != nil {
+		return err
+	}
+	mode := "duplo"
+	if !*traceDuplo {
+		mode = "baseline"
+	}
+	fmt.Fprintf(os.Stderr, "traced %s (%s): %d cycles, %d intervals", l.FullName(), mode, res.Cycles, len(col.Intervals()))
+	if n := col.Dropped(); n > 0 {
+		fmt.Fprintf(os.Stderr, ", %d events dropped (timeline truncated at the front; interval metrics are exact)", n)
+	}
+	fmt.Fprintln(os.Stderr)
 	return nil
 }

@@ -9,16 +9,25 @@
 //	duplosim -net GAN -layer TC1 -oracle -ctas 192
 //	duplosim -net ResNet -layer C2 -workers 2      # baseline and Duplo in parallel
 //	duplosim -net ResNet -layer C2 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	duplosim -net ResNet -layer C2 -trace out.trace.json -metrics-csv out.csv
 //
 // With -workers > 1 (default GOMAXPROCS) the baseline and Duplo
 // simulations run concurrently; output order and values are unchanged.
 // -cpuprofile / -memprofile write pprof profiles of the simulator itself;
 // -dense forces the one-cycle-at-a-time reference clock.
+//
+// -trace writes a Perfetto/Chrome trace-event JSON timeline of the traced
+// run (load it at https://ui.perfetto.dev) and -metrics-csv a per-interval
+// time-series CSV whose counter columns sum exactly to the printed final
+// statistics; -interval sets the bucket width in cycles and -trace-run
+// picks which of the two runs (base or duplo) is traced. Tracing never
+// changes the simulated results (internal/trace, DESIGN.md §4).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 
@@ -26,6 +35,7 @@ import (
 	"duplo/internal/experiments"
 	"duplo/internal/profiling"
 	"duplo/internal/sim"
+	"duplo/internal/trace"
 	"duplo/internal/workload"
 )
 
@@ -42,6 +52,10 @@ var (
 	dense      = flag.Bool("dense", false, "force the dense (non-cycle-skipping) clock")
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	traceOut   = flag.String("trace", "", "write a Perfetto/Chrome trace-event JSON timeline to this file")
+	metricsCSV = flag.String("metrics-csv", "", "write per-interval time-series metrics CSV to this file")
+	interval   = flag.Int64("interval", 10000, "metrics interval in cycles (for -trace/-metrics-csv)")
+	traceRun   = flag.String("trace-run", "duplo", "which run the tracer observes: base or duplo")
 )
 
 func main() {
@@ -84,6 +98,20 @@ func run() error {
 	dcfg.Duplo = true
 	dcfg.DetectCfg.LHB = duplo.LHBConfig{Entries: *lhb, Ways: *ways, Oracle: *oracle}
 
+	// Attach the event collector to the requested run.
+	var col *trace.Collector
+	if *traceOut != "" || *metricsCSV != "" {
+		col = trace.NewCollector(cfg.TraceMeta(*interval))
+		switch *traceRun {
+		case "base":
+			cfg.Tracer = col
+		case "duplo":
+			dcfg.Tracer = col
+		default:
+			return fmt.Errorf("-trace-run must be base or duplo, got %q", *traceRun)
+		}
+	}
+
 	// Both runs go through the experiments runner: with -workers > 1 the
 	// baseline and Duplo simulations execute concurrently.
 	r := experiments.NewRunner(experiments.Options{MaxCTAs: *ctas, SimSMs: *simSMs, Workers: *workers})
@@ -107,6 +135,45 @@ func run() error {
 		100*(float64(dup.DRAMLines)/float64(base.DRAMLines)-1))
 	fmt.Printf("LHB hit rate:            %.1f%% (%d lookups, %d hits)\n",
 		100*dup.LHBHitRate(), dup.LHB.Lookups, dup.LHB.Hits)
+
+	if col != nil {
+		traced := dup
+		if *traceRun == "base" {
+			traced = base
+		}
+		col.Finish(traced.Cycles)
+		if err := writeExports(col); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeExports dumps the collected run to the requested files.
+func writeExports(col *trace.Collector) error {
+	write := func(path string, dump func(io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := dump(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(*traceOut, col.WritePerfetto); err != nil {
+		return err
+	}
+	if err := write(*metricsCSV, col.WriteCSV); err != nil {
+		return err
+	}
+	if n := col.Dropped(); n > 0 {
+		fmt.Fprintf(os.Stderr, "duplosim: ring buffers dropped %d events (timeline truncated at the front; interval metrics are exact)\n", n)
+	}
 	return nil
 }
 

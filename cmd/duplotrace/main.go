@@ -1,78 +1,131 @@
-// Command duplotrace dumps the warp-level instruction stream of the
-// tensor-core GEMM kernel for one layer, annotated with the Duplo ID
-// generator's output per row-vector load — a debugging/teaching view of
-// exactly what the detection unit sees (§IV-C's Table II, at scale).
+// Command duplotrace prints the head of the simulator's pipeline event
+// stream for one layer as text — the same event vocabulary internal/trace
+// records for Perfetto timelines (duplosim -trace), so there is exactly
+// one tracing subsystem. A-tile load issues and LHB hits are annotated
+// with the Duplo ID generator's output for the event's address, making
+// this a debugging/teaching view of exactly what the detection unit sees
+// (§IV-C's Table II, at scale).
 //
-//	duplotrace -net ResNet -layer C2 -warp 0 -n 40
+//	duplotrace -net ResNet -layer C2 -n 40
+//	duplotrace -net ResNet -layer C2 -warp 3 -kind lhb
+//	duplotrace -net YOLO -layer C4 -duplo=false -sm -1
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"sync"
 
 	duplo "duplo/internal/core"
 	"duplo/internal/sim"
+	"duplo/internal/trace"
 	"duplo/internal/workload"
 )
 
-func main() {
-	var (
-		net   = flag.String("net", "ResNet", "network")
-		layer = flag.String("layer", "C2", "layer")
-		cta   = flag.Int("cta", 0, "CTA index")
-		warp  = flag.Int("warp", 0, "warp within the CTA (0-7)")
-		n     = flag.Int("n", 40, "instructions to dump")
-	)
-	flag.Parse()
+var (
+	net     = flag.String("net", "ResNet", "network")
+	layer   = flag.String("layer", "C2", "layer")
+	ctas    = flag.Int("ctas", 2, "max CTAs simulated")
+	simSMs  = flag.Int("sms", 1, "SMs simulated")
+	n       = flag.Int("n", 40, "events to print")
+	smSel   = flag.Int("sm", 0, "only events from this SM (-1 = all)")
+	warpSel = flag.Int("warp", -1, "only events from this warp slot (-1 = all)")
+	kindSel = flag.String("kind", "", "only kinds whose name contains this substring (e.g. lhb, issue, service)")
+	withDup = flag.Bool("duplo", true, "simulate with the Duplo detection unit")
+)
 
-	l, err := workload.Find(*net, *layer)
-	if err != nil {
+// headTracer is a trace.Tracer that keeps the first n events matching the
+// SM/warp/kind filters. The sim runs single-threaded, but Tracer
+// implementations must be safe for concurrent use, so it still locks.
+type headTracer struct {
+	mu     sync.Mutex
+	events []headEvent
+}
+
+type headEvent struct {
+	sm int
+	e  trace.Event
+}
+
+func (h *headTracer) Emit(sm int, e trace.Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.events) >= *n {
+		return
+	}
+	if *smSel >= 0 && sm != *smSel {
+		return
+	}
+	if *warpSel >= 0 && e.Warp != int16(*warpSel) {
+		return
+	}
+	if *kindSel != "" && !strings.Contains(e.Kind.String(), *kindSel) {
+		return
+	}
+	h.events = append(h.events, headEvent{sm, e})
+}
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "duplotrace:", err)
 		os.Exit(1)
+	}
+}
+
+func run() error {
+	l, err := workload.Find(*net, *layer)
+	if err != nil {
+		return err
 	}
 	k, err := sim.NewConvKernel(l.FullName(), l.GemmParams())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "duplotrace:", err)
-		os.Exit(1)
+		return err
 	}
 	ci, err := duplo.NewConvInfo(*k.Conv, k.Layout)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "duplotrace:", err)
-		os.Exit(1)
+		return err
 	}
 	gen := duplo.NewIDGen(ci)
 
-	fmt.Printf("%s: GEMM %dx%dx%d, CTA %d/%d, warp %d\n\n",
-		l.FullName(), k.M, k.N, k.K, *cta, k.TotalCTAs(), *warp)
-	insts, err := sim.TraceWarp(k, *cta, *warp, *n)
+	cfg := sim.TitanVConfig()
+	cfg.MaxCTAs = *ctas
+	cfg.SimSMs = *simSMs
+	if *withDup {
+		cfg.Duplo = true
+		cfg.DetectCfg.LHB = duplo.DefaultLHBConfig()
+	}
+	tr := &headTracer{}
+	cfg.Tracer = tr
+
+	fmt.Printf("%s: GEMM %dx%dx%d, %d CTAs on %d SMs, duplo=%v\n\n",
+		l.FullName(), k.M, k.N, k.K, min(*ctas, k.TotalCTAs()), cfg.SimSMs, *withDup)
+	res, err := sim.Run(cfg, k)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "duplotrace:", err)
-		os.Exit(1)
+		return err
 	}
-	for i, in := range insts {
-		switch in.Op {
-		case sim.OpMMA:
-			fmt.Printf("%4d  %-13s  d=%%f%-2d a=%%f%-2d b=%%f%d\n", i, in.Op, in.Dst, in.SrcA, in.SrcB)
-		case sim.OpStoreD:
-			fmt.Printf("%4d  %-13s  src=%%f%-2d addr=%#x\n", i, in.Op, in.SrcA, in.Addr)
-		default:
-			fmt.Printf("%4d  %-13s  d=%%f%-2d addr=%#x", i, in.Op, in.Dst, in.Addr)
-			if in.Op == sim.OpLoadA {
-				// Show the per-row IDs the detection unit generates.
-				fmt.Printf("  rows[")
-				for r := 0; r < 4; r++ { // first four rows for brevity
-					id, st := gen.IDs(in.Addr + uint64(r)*uint64(in.RowPitch))
-					if st == duplo.StatusOK {
-						fmt.Printf(" b%d:e%d", id.Batch, id.Elem)
-					} else {
-						fmt.Printf(" -")
-					}
-				}
-				fmt.Printf(" ...]")
+
+	for _, he := range tr.events {
+		line := trace.Format(he.sm, he.e)
+		// Annotate detection-unit-visible addresses with the generated
+		// row IDs (issue events carry the tile's first row address).
+		if (he.e.Kind == trace.KindIssue && he.e.Op == trace.OpLoadA) || he.e.Kind == trace.KindLHBHit {
+			if id, st := gen.IDs(he.e.Addr); st == duplo.StatusOK {
+				line += fmt.Sprintf("  id=b%d:e%d", id.Batch, id.Elem)
 			}
-			fmt.Println()
-			continue
 		}
+		fmt.Println(line)
 	}
+	fmt.Printf("\n%d events shown; run: %d cycles, %d instructions, %d loads eliminated\n",
+		len(tr.events), res.Cycles, res.Instructions, res.LoadsEliminated)
+	return nil
+}
+
+func min(a, b int) int {
+	if a == 0 || b < a {
+		return b
+	}
+	return a
 }

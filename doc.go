@@ -2,8 +2,8 @@
 // Redundant Memory Accesses of Deep Neural Networks for GPU Tensor Cores"
 // (MICRO 2020).
 //
-// The root package only anchors the module and the benchmark harness
-// (bench_test.go); the implementation lives under internal/:
+// The root package only anchors the module; the implementation lives under
+// internal/:
 //
 //   - internal/core — the Duplo detection unit (ID generator, load history
 //     buffer, warp register renaming);

@@ -4,7 +4,7 @@
 // a custom metric, so `go test -bench=.` produces the whole result series.
 //
 // For the full-scale tables, run `go run ./cmd/duploexp -exp all`.
-package duplo_test
+package experiments_test
 
 import (
 	"math"

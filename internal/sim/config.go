@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	duplo "duplo/internal/core"
+	"duplo/internal/trace"
 )
 
 // Config describes the simulated GPU. Defaults follow Table III (NVIDIA
@@ -90,6 +91,15 @@ type Config struct {
 	// Duplo enables the detection unit; DetectCfg configures it.
 	Duplo     bool
 	DetectCfg duplo.DetectionUnitConfig
+
+	// Tracer, when non-nil, receives pipeline events (warp issues,
+	// stalls, LHB hits, memory-level services, MSHR merges, LHB entry
+	// releases) from every SM — the observability subsystem of
+	// internal/trace. Tracing is strictly observational: the Result is
+	// byte-identical with any Tracer, including nil, and a nil Tracer
+	// costs one pointer comparison per emit site (the default hot path
+	// does no tracing work).
+	Tracer trace.Tracer
 }
 
 // TitanVConfig returns the baseline GPU model of Table III.
@@ -157,3 +167,17 @@ func (c Config) SliceScale() float64 { return float64(c.SimSMs) / float64(c.NumS
 
 // WarpsPerScheduler returns MaxWarpsPerSM / Schedulers.
 func (c Config) WarpsPerScheduler() int { return c.MaxWarpsPerSM / c.Schedulers }
+
+// TraceMeta describes this configuration to a trace.Collector: shard
+// count, the skipped-span stall weight, and the slice-scaled DRAM
+// bandwidth the exporters normalize against. interval <= 0 selects
+// trace.DefaultInterval.
+func (c Config) TraceMeta(interval int64) trace.Meta {
+	return trace.Meta{
+		SMs:               c.SimSMs,
+		Schedulers:        c.Schedulers,
+		Interval:          interval,
+		LineBytes:         c.LineBytes,
+		DRAMBytesPerCycle: c.DRAMBytesPerCycle() * c.SliceScale(),
+	}
+}

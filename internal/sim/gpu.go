@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	duplo "duplo/internal/core"
+	"duplo/internal/trace"
 )
 
 // Result is the outcome of one kernel simulation.
@@ -80,6 +81,13 @@ const maxSimCycles = int64(4) << 30
 // the dense one-cycle-at-a-time loop, which remains available behind
 // cfg.DenseClock (asserted by TestClockModesByteIdentical; see DESIGN.md
 // §3 "Clocking").
+//
+// Observability: with cfg.Tracer set, every SM emits pipeline events
+// (issues, stalls, skipped spans, LHB hits/releases, memory-level
+// services, MSHR merges) into the tracer as it simulates. Tracing never
+// changes the Result (asserted by TestTracingDoesNotPerturb) and a nil
+// Tracer costs one pointer check per site; see internal/trace and
+// DESIGN.md §4.
 func Run(cfg Config, k *Kernel) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
@@ -146,10 +154,19 @@ func Run(cfg Config, k *Kernel) (Result, error) {
 				// the wake set, so each skipped cycle would have stalled
 				// all schedulers of every SM — with the same per-SM LDST
 				// blockage this tick observed. Account those ticks
-				// arithmetically instead of running them.
+				// arithmetically instead of running them. The tracer gets
+				// the same span so interval metrics can apportion it
+				// across bucket boundaries with identical arithmetic.
 				for i, sm := range g.sms {
 					sm.stats.IssueStallCycles += span * int64(cfg.Schedulers)
 					sm.stats.LDSTStallCycles += span * int64(blocked[i])
+					if sm.tr != nil {
+						sm.tr.Emit(sm.id, trace.Event{
+							Cycle: now + 1, Kind: trace.KindStallSpan,
+							A: span, B: int64(blocked[i]),
+							Sched: -1, Warp: -1,
+						})
+					}
 				}
 				now = wake - 1 // the increment below lands on the wake cycle
 			}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	duplo "duplo/internal/core"
+	"duplo/internal/trace"
 )
 
 // lhbReleaseEvt schedules the release of a retired load's LHB entries.
@@ -67,6 +68,7 @@ type smState struct {
 	mem  *memSystem
 	gpu  *gpuState
 	du   *duplo.DetectionUnit
+	tr   trace.Tracer // nil unless Config.Tracer is set
 	l1   *cacheArray
 	mshr map[uint64]int64 // lineAddr -> fill cycle
 
@@ -96,6 +98,7 @@ func newSM(cfg Config, id int, mem *memSystem, gpu *gpuState) *smState {
 		id:           id,
 		mem:          mem,
 		gpu:          gpu,
+		tr:           cfg.Tracer,
 		l1:           newCacheArray(cfg.L1KB<<10, cfg.LineBytes, 8),
 		mshr:         make(map[uint64]int64),
 		pbFree:       make([]int64, cfg.Schedulers),
@@ -176,6 +179,15 @@ func (sm *smState) tick(now int64) (issued, ldstBlocked int) {
 			ldstBlocked++
 		}
 	}
+	if sm.tr != nil && issued < sm.cfg.Schedulers {
+		// Every non-issuing scheduler counted one IssueStallCycle this
+		// tick (scheduleOne); fold them into a single stall event.
+		sm.tr.Emit(sm.id, trace.Event{
+			Cycle: now, Kind: trace.KindStall,
+			A: int64(sm.cfg.Schedulers - issued), B: int64(ldstBlocked),
+			Sched: -1, Warp: -1,
+		})
+	}
 	return issued, ldstBlocked
 }
 
@@ -227,6 +239,12 @@ func (sm *smState) releaseLHB(now int64) {
 		e := sm.lhbRelease[i]
 		for q := e.seqLo; q < e.seqHi; q++ {
 			sm.du.Retire(q)
+		}
+		if sm.tr != nil {
+			sm.tr.Emit(sm.id, trace.Event{
+				Cycle: now, Kind: trace.KindLHBRelease,
+				A: int64(e.seqHi - e.seqLo), Sched: -1, Warp: -1,
+			})
 		}
 		i++
 	}
@@ -337,6 +355,16 @@ func (sm *smState) tryIssue(sid int, w *warpCtx, now int64) (issued, ldstBlocked
 	}
 	in := w.cur
 	sm.stats.Instructions++
+	if sm.tr != nil {
+		ev := trace.Event{
+			Cycle: now, Kind: trace.KindIssue, Addr: in.Addr,
+			Op: int8(in.Op), Sched: int8(sid), Warp: int16(w.slot),
+		}
+		if in.Op == OpLoadA || in.Op == OpLoadB {
+			ev.A = tileRows // row-vector loads this macro-op expands into
+		}
+		sm.tr.Emit(sm.id, ev)
+	}
 	switch in.Op {
 	case OpLoadA, OpLoadB:
 		sm.issueLoad(w, in, now)
@@ -393,6 +421,12 @@ func (sm *smState) issueLoad(w *warpCtx, in Instr, now int64) {
 				// Parallel L1 lookup happens anyway (energy), then cancels.
 				sm.stats.L1Accesses++
 				sm.stats.ServiceLines[ServiceLHB]++
+				if sm.tr != nil {
+					sm.tr.Emit(sm.id, trace.Event{
+						Cycle: now, Kind: trace.KindLHBHit, Addr: rowAddr,
+						Sched: -1, Warp: int16(w.slot),
+					})
+				}
 			}
 		}
 		if !hit {
@@ -427,6 +461,12 @@ func (sm *smState) issueLoad(w *warpCtx, in Instr, now int64) {
 			memReady = ready
 		}
 		sm.stats.ServiceLines[src]++
+		if sm.tr != nil {
+			sm.tr.Emit(sm.id, trace.Event{
+				Cycle: t, Kind: trace.KindService, Addr: line,
+				Level: int8(src), Sched: -1, Warp: int16(w.slot),
+			})
+		}
 	}
 	if memReady > complete {
 		complete = memReady
@@ -461,6 +501,12 @@ func (sm *smState) accessLine(line uint64, t int64) (int64, ServiceLevel) {
 			// Merge into the outstanding miss.
 			sm.stats.MSHRMerges++
 			sm.stats.L1Hits++ // serviced without new traffic
+			if sm.tr != nil {
+				sm.tr.Emit(sm.id, trace.Event{
+					Cycle: t, Kind: trace.KindMSHRMerge, Addr: line,
+					Sched: -1, Warp: -1,
+				})
+			}
 			return fill, ServiceL1
 		}
 		delete(sm.mshr, line)

@@ -34,11 +34,11 @@ type Stats struct {
 	Cycles int64
 
 	// Instruction counts (warp-level).
-	Instructions   int64
-	TensorLoads    int64 // wmma.load.a/b issued
+	Instructions    int64
+	TensorLoads     int64 // wmma.load.a/b issued
 	LoadsEliminated int64 // tensor-core-loads removed by Duplo renaming
-	MMAs           int64
-	Stores         int64
+	MMAs            int64
+	Stores          int64
 
 	// Issue-stall accounting (per scheduler-cycle with nothing issued).
 	IssueStallCycles int64

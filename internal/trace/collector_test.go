@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSpanApportioning: a KindStallSpan crossing several interval
+// boundaries must split its stall cycles exactly, bucket by bucket.
+func TestSpanApportioning(t *testing.T) {
+	c := NewCollector(Meta{SMs: 1, Schedulers: 4, Interval: 100})
+	// Span [250, 750): 50 cycles in interval 2, 100 in 3 and 4 each,
+	// 50 in interval 7 from a second span [750, 800)... keep it simple:
+	c.Emit(0, Event{Cycle: 250, Kind: KindStallSpan, A: 500, B: 3})
+	ivs := c.Intervals()
+	want := map[int64]int64{2: 50, 3: 100, 4: 100, 5: 100, 6: 100, 7: 50}
+	var totIssue, totLdst int64
+	for _, iv := range ivs {
+		w := want[iv.Index]
+		if iv.IssueStallCycles != w*4 {
+			t.Errorf("interval %d: issue stalls %d, want %d", iv.Index, iv.IssueStallCycles, w*4)
+		}
+		if iv.LDSTStallCycles != w*3 {
+			t.Errorf("interval %d: ldst stalls %d, want %d", iv.Index, iv.LDSTStallCycles, w*3)
+		}
+		totIssue += iv.IssueStallCycles
+		totLdst += iv.LDSTStallCycles
+	}
+	if totIssue != 500*4 || totLdst != 500*3 {
+		t.Errorf("span total = %d/%d, want %d/%d", totIssue, totLdst, 500*4, 500*3)
+	}
+}
+
+// TestSpanOnBoundary: spans starting or ending exactly on a boundary must
+// not leak a cycle into a neighbouring bucket.
+func TestSpanOnBoundary(t *testing.T) {
+	c := NewCollector(Meta{SMs: 1, Schedulers: 1, Interval: 100})
+	c.Emit(0, Event{Cycle: 100, Kind: KindStallSpan, A: 100, B: 0})
+	ivs := c.Intervals()
+	for _, iv := range ivs {
+		want := int64(0)
+		if iv.Index == 1 {
+			want = 100
+		}
+		if iv.IssueStallCycles != want {
+			t.Errorf("interval %d: %d stalls, want %d", iv.Index, iv.IssueStallCycles, want)
+		}
+	}
+}
+
+// TestRingOverwrite: a full ring drops the oldest events, keeps counters
+// exact, and Events returns the retained tail in order.
+func TestRingOverwrite(t *testing.T) {
+	c := NewCollector(Meta{SMs: 1, Schedulers: 4, Interval: 1000, RingCap: 8})
+	for i := 0; i < 20; i++ {
+		c.Emit(0, Event{Cycle: int64(i), Kind: KindIssue, Op: OpMMA})
+	}
+	if got := c.Dropped(); got != 12 {
+		t.Fatalf("dropped = %d, want 12", got)
+	}
+	evs := c.Events(0)
+	if len(evs) != 8 {
+		t.Fatalf("retained %d events, want 8", len(evs))
+	}
+	for i, e := range evs {
+		if e.Cycle != int64(12+i) {
+			t.Fatalf("event %d has cycle %d, want %d (oldest-first order)", i, e.Cycle, 12+i)
+		}
+	}
+	if tot := c.Totals(); tot.Instructions != 20 || tot.MMAs != 20 {
+		t.Fatalf("counters lost events: %+v", tot)
+	}
+}
+
+// TestShardGrowth: emits for SMs beyond the declared count must land in
+// fresh shards, not panic or alias.
+func TestShardGrowth(t *testing.T) {
+	c := NewCollector(Meta{SMs: 1, Schedulers: 4, Interval: 100})
+	c.Emit(3, Event{Cycle: 5, Kind: KindIssue, Op: OpStoreD})
+	if c.SMs() != 4 {
+		t.Fatalf("SMs = %d, want 4", c.SMs())
+	}
+	if len(c.Events(3)) != 1 || len(c.Events(0)) != 0 {
+		t.Fatal("event landed in the wrong shard")
+	}
+	if c.Events(99) != nil {
+		t.Fatal("out-of-range SM should return nil")
+	}
+}
+
+// TestConcurrentEmit hammers the collector from several goroutines (the
+// race detector is the real assertion; counts confirm nothing was lost).
+func TestConcurrentEmit(t *testing.T) {
+	c := NewCollector(Meta{SMs: 4, Schedulers: 4, Interval: 50, RingCap: 64})
+	const perG = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Emit(g%4, Event{Cycle: int64(i), Kind: KindIssue, Op: OpMMA})
+				c.Emit(g%4, Event{Cycle: int64(i), Kind: KindService, Level: LevelL2})
+			}
+		}(g)
+	}
+	wg.Wait()
+	tot := c.Totals()
+	if tot.Instructions != 8*perG || tot.ServiceLines[LevelL2] != 8*perG {
+		t.Fatalf("lost events under concurrency: %+v", tot)
+	}
+}
+
+// TestIntervalsWithFinish: Finish clips the last interval and pads empty
+// trailing intervals so coverage matches the run length.
+func TestIntervalsWithFinish(t *testing.T) {
+	c := NewCollector(Meta{SMs: 1, Schedulers: 4, Interval: 100})
+	c.Emit(0, Event{Cycle: 10, Kind: KindIssue, Op: OpMMA})
+	c.Finish(450)
+	ivs := c.Intervals()
+	if len(ivs) != 5 {
+		t.Fatalf("%d intervals, want 5", len(ivs))
+	}
+	var covered int64
+	for _, iv := range ivs {
+		covered += iv.Cycles
+	}
+	if covered != 450 {
+		t.Fatalf("covered %d cycles, want 450", covered)
+	}
+	if ivs[4].Cycles != 50 {
+		t.Fatalf("last interval %d cycles, want 50", ivs[4].Cycles)
+	}
+}
+
+// TestDefaults: zero-valued Meta fields fall back to the documented
+// defaults.
+func TestDefaults(t *testing.T) {
+	c := NewCollector(Meta{})
+	if c.Meta().Interval != DefaultInterval || c.Meta().RingCap != DefaultRingCap {
+		t.Fatalf("defaults not applied: %+v", c.Meta())
+	}
+}
+
+// TestFormatCoversKinds: every kind renders without the fallback branch,
+// and the names match the vocabulary.
+func TestFormatCoversKinds(t *testing.T) {
+	events := []Event{
+		{Kind: KindIssue, Op: OpLoadA, Addr: 0x100, Warp: 3, Sched: 1},
+		{Kind: KindIssue, Op: OpMMA, Warp: 3, Sched: 1},
+		{Kind: KindStall, A: 4, B: 2},
+		{Kind: KindStallSpan, A: 100, B: 1},
+		{Kind: KindLHBHit, Addr: 0x200, Warp: 5},
+		{Kind: KindService, Level: LevelDRAM, Addr: 0x300},
+		{Kind: KindMSHRMerge, Addr: 0x400},
+		{Kind: KindLHBRelease, A: 16},
+	}
+	for _, e := range events {
+		s := Format(0, e)
+		if strings.Contains(s, "?") {
+			t.Errorf("Format(%+v) fell back: %q", e, s)
+		}
+		if !strings.Contains(s, e.Kind.String()) {
+			t.Errorf("Format(%+v) missing kind name: %q", e, s)
+		}
+	}
+	if Kind(numKinds).String() != "?" || OpName(numOps) != "?" || LevelName(NumLevels) != "?" {
+		t.Error("out-of-range names must fall back to ?")
+	}
+}
+
+// TestSliceHelpers exercises the Perfetto slice reconstruction directly.
+func TestSliceHelpers(t *testing.T) {
+	// Issues at 0..3, gap of 100, issues at 110..111 -> two activity
+	// slices with 4 and 2 instructions.
+	var evs []Event
+	for _, c := range []int64{0, 1, 2, 3, 110, 111} {
+		evs = append(evs, Event{Cycle: c, Kind: KindIssue, Op: OpMMA})
+	}
+	act := activitySlices(evs)
+	if len(act) != 2 || act[0].span != 4 || act[0].ldstCycles != 4 || act[1].start != 110 || act[1].ldstCycles != 2 {
+		t.Fatalf("activity slices: %+v", act)
+	}
+
+	// A full-stall tick at 9 followed by a span [10,50) and another tick
+	// at 50 merges into one stall slice [9, 51).
+	stalls := []Event{
+		{Cycle: 9, Kind: KindStall, A: 4, B: 1},
+		{Cycle: 10, Kind: KindStallSpan, A: 40, B: 1},
+		{Cycle: 50, Kind: KindStall, A: 4, B: 0},
+		{Cycle: 60, Kind: KindStall, A: 2, B: 0}, // partial: not a stall slice
+	}
+	st := stallSlices(stalls, 4)
+	if len(st) != 1 || st[0].start != 9 || st[0].span != 42 || st[0].ldstCycles != 41 {
+		t.Fatalf("stall slices: %+v", st)
+	}
+}

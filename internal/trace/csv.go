@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// csvHeader names the time-series columns. Counter columns are exact event
+// counts whose per-column sums reconcile with the run's final sim.Stats
+// (the conservation contract); rate columns are derived per interval.
+const csvHeader = "interval,start_cycle,cycles,instructions,ipc," +
+	"tensor_loads,loads_eliminated,lhb_rate,mmas,stores," +
+	"issue_stall_cycles,ldst_stall_cycles," +
+	"lhb_lines,l1_lines,l2_lines,dram_lines,mshr_merges," +
+	"dram_bytes,dram_bw_util"
+
+// WriteCSV writes the merged interval time series as CSV, one row per
+// interval from cycle 0 through the end of the run (call Finish first so
+// the last partial interval reports its true width). dram_bw_util is the
+// fraction of the slice-scaled DRAM read bandwidth consumed (0 when the
+// collector's Meta carries no bandwidth).
+func (c *Collector) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, csvHeader)
+	for _, iv := range c.Intervals() {
+		dramBytes := iv.DRAMLines() * int64(c.meta.LineBytes)
+		util := 0.0
+		if c.meta.DRAMBytesPerCycle > 0 && iv.Cycles > 0 {
+			util = float64(dramBytes) / (float64(iv.Cycles) * c.meta.DRAMBytesPerCycle)
+		}
+		fmt.Fprintf(bw, "%d,%d,%d,%d,%s,%d,%d,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s\n",
+			iv.Index, iv.Start, iv.Cycles,
+			iv.Instructions, jsonFloat(iv.IPC()),
+			iv.TensorLoads, iv.LoadsEliminated, jsonFloat(iv.LHBRate()),
+			iv.MMAs, iv.Stores,
+			iv.IssueStallCycles, iv.LDSTStallCycles,
+			iv.ServiceLines[LevelLHB], iv.ServiceLines[LevelL1],
+			iv.ServiceLines[LevelL2], iv.ServiceLines[LevelDRAM],
+			iv.MSHRMerges, dramBytes, jsonFloat(util))
+	}
+	return bw.Flush()
+}

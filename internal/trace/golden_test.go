@@ -1,0 +1,106 @@
+package trace_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"duplo/internal/conv"
+	duplo "duplo/internal/core"
+	"duplo/internal/sim"
+	"duplo/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite the exporter golden files")
+
+// goldenRun simulates a small fixed workload with tracing attached — the
+// fixture behind both exporter golden files. The simulator is fully
+// deterministic (sim.Run's contract), so the exports are byte-stable.
+func goldenRun(t *testing.T) *trace.Collector {
+	t.Helper()
+	layer := conv.Params{N: 1, H: 8, W: 8, C: 16, K: 16, FH: 3, FW: 3, Pad: 1, Stride: 1}
+	k, err := sim.NewConvKernel("golden", layer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.TitanVConfig()
+	cfg.SimSMs = 2
+	cfg.MaxCTAs = 2
+	cfg.Duplo = true
+	cfg.DetectCfg.LHB = duplo.DefaultLHBConfig()
+	col := trace.NewCollector(cfg.TraceMeta(2000))
+	cfg.Tracer = col
+	res, err := sim.Run(cfg, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col.Finish(res.Cycles)
+	if col.Dropped() != 0 {
+		t.Fatalf("golden workload overflowed the ring (%d dropped); shrink it", col.Dropped())
+	}
+	return col
+}
+
+// checkGolden compares got against testdata/name, rewriting it under
+// -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/trace -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden (%d vs %d bytes); run with -update if intentional",
+			name, len(got), len(want))
+	}
+}
+
+func TestPerfettoGolden(t *testing.T) {
+	col := goldenRun(t)
+	var buf bytes.Buffer
+	if err := col.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Structural sanity independent of the golden bytes.
+	for _, want := range []string{
+		`"displayTimeUnit"`, `"traceEvents"`,
+		`"name":"SM 0"`, `"name":"SM 1"`,
+		`"name":"active"`, `"name":"stall"`,
+		`"name":"IPC"`, `"name":"LHB hit rate"`, `"name":"DRAM lines"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Perfetto export missing %s", want)
+		}
+	}
+	checkGolden(t, "perfetto.golden", buf.Bytes())
+}
+
+func TestCSVGolden(t *testing.T) {
+	col := goldenRun(t)
+	var buf bytes.Buffer
+	if err := col.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(col.Intervals())+1 {
+		t.Fatalf("CSV has %d lines for %d intervals", len(lines), len(col.Intervals()))
+	}
+	if !strings.HasPrefix(lines[0], "interval,start_cycle,cycles,instructions,ipc") {
+		t.Fatalf("unexpected header %q", lines[0])
+	}
+	checkGolden(t, "intervals.golden", buf.Bytes())
+}

@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// activityGap is the issue-to-issue distance (cycles) above which the
+// Perfetto exporter splits warp-activity slices. Small pipeline bubbles
+// stay inside one slice; real stalls separate slices (and show up as
+// explicit "stall" slices of their own).
+const activityGap = 8
+
+// stallSeg is one fully-stalled span of an SM, pre-merge.
+type stallSeg struct {
+	start, span int64
+	ldstCycles  int64 // LDST-blocked scheduler-cycles inside the span
+}
+
+// WritePerfetto writes the collected run as a Chrome trace-event / Perfetto
+// JSON timeline: one thread ("track") per SM carrying warp-activity and
+// stall slices, plus chip-wide counter tracks (IPC, LHB hit rate, DRAM
+// lines) sampled per interval. Load the file at ui.perfetto.dev or
+// chrome://tracing. Cycles are reported as timestamps 1 cycle = 1 us (the
+// trace-event unit); only relative durations are meaningful.
+//
+// Slices are reconstructed from the ring buffers; if a ring overflowed
+// (Dropped > 0) the earliest part of that SM's timeline is missing, while
+// counter tracks — built from interval accounting — always cover the whole
+// run. Call Finish before exporting.
+func (c *Collector) WritePerfetto(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
+	fmt.Fprintf(bw, "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"duplo-sim\"}}")
+
+	nsm := c.SMs()
+	for sm := 0; sm < nsm; sm++ {
+		fmt.Fprintf(bw, ",\n{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"SM %d\"}}", sm, sm)
+	}
+
+	for sm := 0; sm < nsm; sm++ {
+		events := c.Events(sm)
+		for _, s := range activitySlices(events) {
+			fmt.Fprintf(bw, ",\n{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%d,\"dur\":%d,\"name\":\"active\",\"args\":{\"instructions\":%d}}",
+				sm, s.start, s.span, s.ldstCycles)
+		}
+		for _, s := range stallSlices(events, c.meta.Schedulers) {
+			fmt.Fprintf(bw, ",\n{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%d,\"dur\":%d,\"name\":\"stall\",\"args\":{\"ldst_stall_cycles\":%d}}",
+				sm, s.start, s.span, s.ldstCycles)
+		}
+	}
+
+	// Chip-wide interval counter tracks.
+	for _, iv := range c.Intervals() {
+		fmt.Fprintf(bw, ",\n{\"ph\":\"C\",\"pid\":0,\"ts\":%d,\"name\":\"IPC\",\"args\":{\"value\":%s}}",
+			iv.Start, jsonFloat(iv.IPC()))
+		fmt.Fprintf(bw, ",\n{\"ph\":\"C\",\"pid\":0,\"ts\":%d,\"name\":\"LHB hit rate\",\"args\":{\"value\":%s}}",
+			iv.Start, jsonFloat(iv.LHBRate()))
+		fmt.Fprintf(bw, ",\n{\"ph\":\"C\",\"pid\":0,\"ts\":%d,\"name\":\"DRAM lines\",\"args\":{\"value\":%d}}",
+			iv.Start, iv.DRAMLines())
+	}
+
+	fmt.Fprintf(bw, "\n]}\n")
+	return bw.Flush()
+}
+
+// jsonFloat renders a float deterministically for the JSON/CSV exports.
+func jsonFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// activitySlices coalesces KindIssue events into warp-activity slices:
+// issues closer than activityGap cycles share a slice. The ldstCycles
+// field is reused to carry the slice's instruction count.
+func activitySlices(events []Event) []stallSeg {
+	var out []stallSeg
+	var cur *stallSeg
+	var lastCycle int64
+	for _, e := range events {
+		if e.Kind != KindIssue {
+			continue
+		}
+		if cur != nil && e.Cycle <= lastCycle+activityGap {
+			if e.Cycle >= cur.start+cur.span {
+				cur.span = e.Cycle - cur.start + 1
+			}
+			cur.ldstCycles++
+			lastCycle = e.Cycle
+			continue
+		}
+		out = append(out, stallSeg{start: e.Cycle, span: 1, ldstCycles: 1})
+		cur = &out[len(out)-1]
+		lastCycle = e.Cycle
+	}
+	return out
+}
+
+// stallSlices merges full-stall ticks (KindStall with every scheduler
+// stalled) and skipped spans (KindStallSpan) into maximal contiguous stall
+// slices.
+func stallSlices(events []Event, schedulers int) []stallSeg {
+	var segs []stallSeg
+	for _, e := range events {
+		switch e.Kind {
+		case KindStall:
+			if int(e.A) == schedulers {
+				segs = append(segs, stallSeg{start: e.Cycle, span: 1, ldstCycles: e.B})
+			}
+		case KindStallSpan:
+			segs = append(segs, stallSeg{start: e.Cycle, span: e.A, ldstCycles: e.A * e.B})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].start < segs[j].start })
+	var out []stallSeg
+	for _, s := range segs {
+		if n := len(out); n > 0 && out[n-1].start+out[n-1].span == s.start {
+			out[n-1].span += s.span
+			out[n-1].ldstCycles += s.ldstCycles
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
