@@ -47,6 +47,7 @@ var (
 	ctas       = flag.Int("ctas", 96, "max CTAs simulated per kernel")
 	simSMs     = flag.Int("sms", 4, "number of SMs simulated")
 	workers    = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+	smWorkers  = flag.Int("sm-workers", 0, "goroutines sharding the SMs inside each simulation (0 = serial reference loop here; results identical at any value)")
 	full       = flag.Bool("full", false, "simulate full grids (removes the CTA cap; slow)")
 	verbose    = flag.Bool("v", false, "print progress")
 	csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -81,7 +82,7 @@ func main() {
 }
 
 func run() error {
-	opts := experiments.Options{MaxCTAs: *ctas, SimSMs: *simSMs, Workers: *workers, Verbose: *verbose}
+	opts := experiments.Options{MaxCTAs: *ctas, SimSMs: *simSMs, Workers: *workers, SMWorkers: *smWorkers, Verbose: *verbose}
 	if *full {
 		opts.MaxCTAs = 0
 	}

@@ -49,6 +49,7 @@ var (
 	simSMs     = flag.Int("sms", 4, "SMs simulated")
 	batch      = flag.Int("batch", 0, "override batch size (default Table I's 8)")
 	workers    = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+	smWorkers  = flag.Int("sm-workers", 0, "goroutines sharding the SMs inside each simulation (0 = GOMAXPROCS, 1 = serial reference loop; results identical)")
 	dense      = flag.Bool("dense", false, "force the dense (non-cycle-skipping) clock")
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -89,6 +90,7 @@ func run() error {
 	cfg.MaxCTAs = *ctas
 	cfg.SimSMs = *simSMs
 	cfg.DenseClock = *dense
+	cfg.SMWorkers = *smWorkers
 
 	fmt.Printf("%s: %v\n", l.FullName(), l.GemmParams())
 	fmt.Printf("GEMM %dx%dx%d (padded %dx%dx%d), %d CTAs total, simulating %d on %d SMs\n\n",
@@ -114,7 +116,7 @@ func run() error {
 
 	// Both runs go through the experiments runner: with -workers > 1 the
 	// baseline and Duplo simulations execute concurrently.
-	r := experiments.NewRunner(experiments.Options{MaxCTAs: *ctas, SimSMs: *simSMs, Workers: *workers})
+	r := experiments.NewRunner(experiments.Options{MaxCTAs: *ctas, SimSMs: *simSMs, Workers: *workers, SMWorkers: *smWorkers})
 	var base, dup sim.Result
 	var baseErr, dupErr error
 	var wg sync.WaitGroup

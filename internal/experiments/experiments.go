@@ -30,6 +30,13 @@ type Options struct {
 	// Workers bounds concurrently executing simulations (0 = GOMAXPROCS;
 	// 1 = the serial path).
 	Workers int
+	// SMWorkers shards the SMs of each individual simulation across
+	// goroutines (sim.Config.SMWorkers). The engine already parallelizes
+	// across simulations, so 0 keeps each one on the serial reference loop
+	// rather than inheriting GOMAXPROCS; set >1 to shard within runs too
+	// (total goroutine demand is then roughly Workers*SMWorkers). Results
+	// are byte-identical at any value.
+	SMWorkers int
 	// Verbose prints progress lines through Progress (stdout when nil).
 	Verbose  bool
 	Progress func(string)
@@ -59,6 +66,12 @@ func (o Options) config() sim.Config {
 	}
 	if o.SimSMs > 0 {
 		cfg.SimSMs = o.SimSMs
+	}
+	// Default each run to the serial loop: the engine's own Workers pool is
+	// the parallelism knob at experiment granularity (see SMWorkers doc).
+	cfg.SMWorkers = 1
+	if o.SMWorkers > 0 {
+		cfg.SMWorkers = o.SMWorkers
 	}
 	return cfg
 }

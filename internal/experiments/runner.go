@@ -81,15 +81,16 @@ func (r *Runner) progress(format string, args ...interface{}) {
 	}
 }
 
-// key builds a cache key for a kernel/config combination. DenseClock is
-// included for hygiene even though the clocks are byte-identical by
-// contract (clock_test.go), so a deliberate cross-clock comparison is
-// never served from the cache.
+// key builds a cache key for a kernel/config combination. DenseClock and
+// SMWorkers are included for hygiene even though the clocks and the SM-worker
+// counts are byte-identical by contract (clock_test.go, parallel_sm_test.go),
+// so a deliberate cross-mode comparison is never served from the cache.
 func (r *Runner) key(kernelName string, cfg sim.Config) string {
 	d := cfg.DetectCfg
-	return fmt.Sprintf("%s|d=%v|e=%d,w=%d,o=%v,ne=%v,mi=%v|lat=%d|cta=%d|sm=%d|b=%d|rl=%d|l1=%d|l2=%d|dc=%v",
+	return fmt.Sprintf("%s|d=%v|e=%d,w=%d,o=%v,ne=%v,mi=%v|lat=%d|cta=%d|sm=%d|b=%d|rl=%d|l1=%d|l2=%d|dc=%v|smw=%d",
 		kernelName, cfg.Duplo, d.LHB.Entries, d.LHB.Ways, d.LHB.Oracle, d.LHB.NeverEvict, d.LHB.ModuloIndex,
-		d.LatencyCycles, cfg.MaxCTAs, cfg.SimSMs, 0, cfg.RetireDelay, cfg.L1KB, cfg.L2KB, cfg.DenseClock)
+		d.LatencyCycles, cfg.MaxCTAs, cfg.SimSMs, 0, cfg.RetireDelay, cfg.L1KB, cfg.L2KB, cfg.DenseClock,
+		cfg.SMWorkers)
 }
 
 // Run simulates kernel k under cfg, memoized and singleflighted: safe for

@@ -91,6 +91,60 @@ func benchClock(b *testing.B, dense bool) {
 func BenchmarkRunDense(b *testing.B)       { benchClock(b, true) }
 func BenchmarkRunEventDriven(b *testing.B) { benchClock(b, false) }
 
+func benchSMWorkers(b *testing.B, workers int) {
+	k, err := NewConvKernel("shard-bench", benchMemBoundLayer)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := memBoundConfig()
+	cfg.SimSMs = 4 // a >= 4-SM slice so the shards have real work each
+	cfg.MaxCTAs = 16
+	cfg.SMWorkers = workers
+	b.ResetTimer()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Cycles
+	}
+	b.ReportMetric(float64(cycles), "cycles")
+}
+
+// BenchmarkRunSerialSMs vs BenchmarkRunParallelSMs measure the SM-sharding
+// payoff on a 4-SM memory-bound layer (ratio recorded in EXPERIMENTS.md).
+// The parallel bench pins SMWorkers to 4 — not GOMAXPROCS — so the sharded
+// loop is exercised (and CI-smoked) even on a 1-core host.
+func BenchmarkRunSerialSMs(b *testing.B)   { benchSMWorkers(b, 1) }
+func BenchmarkRunParallelSMs(b *testing.B) { benchSMWorkers(b, 4) }
+
+// BenchmarkPlaceCTA measures CTA placement cost — the path the memoized
+// warp-program cache removes per-wave program construction from.
+func BenchmarkPlaceCTA(b *testing.B) {
+	k, err := NewConvKernel("place-bench", testLayer)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := testConfig()
+	var stats Stats
+	mem := newMemSystem(cfg, &stats)
+	sm := newSM(cfg, 0, mem, &gpuState{cfg: cfg})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sm.placeCTA(k, i%k.TotalCTAs(), int64(i))
+		// Free the slots again so placement never runs out of capacity.
+		for s := range sm.warps {
+			sm.warps[s].active = false
+		}
+		sm.resident = 0
+		for cta := range sm.ctaWarpsLeft {
+			delete(sm.ctaWarpsLeft, cta)
+		}
+	}
+}
+
 func BenchmarkWarpProgramDecode(b *testing.B) {
 	k, _ := NewConvKernel("bench", testLayer)
 	prog := newWarpProgram(k, k.warpAssignments(0)[0])

@@ -86,6 +86,15 @@ func (c *cacheArray) Capacity() int { return c.sets * c.ways }
 
 // memSystem is the shared part of the hierarchy: the L2 slice and the
 // DRAM bandwidth model behind it. Per-SM L1s live in smState.
+//
+// Ordering contract: every access mutates shared state (L2 LRU recency,
+// dramFree, and the dramFrac fractional accumulator — floating-point, so not
+// even reorderable), which makes results depend on the exact arrival order
+// of requests. All callers must therefore touch the memSystem from one
+// goroutine in the canonical serial order — ascending (cycle, smID, issue
+// index). The sharded loop honors this by staging phase-A requests per SM
+// and replaying them here during serial phase B (shard.go); never call into
+// the memSystem from phase A.
 type memSystem struct {
 	cfg Config
 	l2  *cacheArray

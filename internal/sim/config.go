@@ -21,6 +21,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 
 	duplo "duplo/internal/core"
 	"duplo/internal/trace"
@@ -88,6 +89,14 @@ type Config struct {
 	// hatch and as the baseline for the clocking benchmarks.
 	DenseClock bool
 
+	// SMWorkers shards the simulated SMs across goroutines inside one Run
+	// (the two-phase tick of DESIGN.md §3, "SM sharding"): 0 selects
+	// GOMAXPROCS, 1 forces the single-goroutine reference loop, and any
+	// value is clamped to SimSMs. Results are byte-identical at every
+	// worker count (the differential matrix in parallel_sm_test.go is the
+	// gate); the knob trades wall-clock for cores, never output.
+	SMWorkers int
+
 	// Duplo enables the detection unit; DetectCfg configures it.
 	Duplo     bool
 	DetectCfg duplo.DetectionUnitConfig
@@ -153,8 +162,27 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: DRAM bandwidth must be positive")
 	case c.LDSTQueueDepth <= 0:
 		return fmt.Errorf("sim: LDST queue depth must be positive")
+	case c.SMWorkers < 0:
+		return fmt.Errorf("sim: SMWorkers %d must be >= 0 (0 = GOMAXPROCS)", c.SMWorkers)
 	}
 	return nil
+}
+
+// smWorkers resolves Config.SMWorkers to the effective shard count for one
+// Run: 0 selects GOMAXPROCS, and the result is clamped to [1, SimSMs] (a
+// shard never holds less than one SM, so extra workers would idle).
+func (c Config) smWorkers() int {
+	w := c.SMWorkers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > c.SimSMs {
+		w = c.SimSMs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // DRAMBytesPerCycle returns the whole-GPU DRAM bandwidth in bytes/cycle.

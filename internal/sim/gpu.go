@@ -88,6 +88,12 @@ const maxSimCycles = int64(4) << 30
 // changes the Result (asserted by TestTracingDoesNotPerturb) and a nil
 // Tracer costs one pointer check per site; see internal/trace and
 // DESIGN.md §4.
+//
+// Parallelism: with cfg.SMWorkers resolved above 1, the cycle loop shards
+// the SMs across goroutines using the two-phase tick of shard.go; the
+// Result — and any attached trace, event for event — stays byte-identical
+// to the single-goroutine reference loop (asserted by the differential
+// matrix in parallel_sm_test.go; see DESIGN.md §3 "SM sharding").
 func Run(cfg Config, k *Kernel) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
@@ -127,54 +133,14 @@ func Run(cfg Config, k *Kernel) (Result, error) {
 	}
 
 	var now int64
-	blocked := make([]int, len(g.sms)) // per-SM ldst-blocked schedulers this tick
-	for {
-		busy := false
-		issued := 0
-		for i, sm := range g.sms {
-			iss, blk := sm.tick(now)
-			issued += iss
-			blocked[i] = blk
-			if sm.busy() {
-				busy = true
-			}
-		}
-		if !busy && g.nextCTA >= g.totalCTAs {
-			break
-		}
-		if issued == 0 && !cfg.DenseClock {
-			wake := farFuture
-			for _, sm := range g.sms {
-				if w := sm.nextWake(now); w < wake {
-					wake = w
-				}
-			}
-			if span := wake - now - 1; span > 0 && wake < farFuture {
-				// Dead span (now, wake): every state-change driver is in
-				// the wake set, so each skipped cycle would have stalled
-				// all schedulers of every SM — with the same per-SM LDST
-				// blockage this tick observed. Account those ticks
-				// arithmetically instead of running them. The tracer gets
-				// the same span so interval metrics can apportion it
-				// across bucket boundaries with identical arithmetic.
-				for i, sm := range g.sms {
-					sm.stats.IssueStallCycles += span * int64(cfg.Schedulers)
-					sm.stats.LDSTStallCycles += span * int64(blocked[i])
-					if sm.tr != nil {
-						sm.tr.Emit(sm.id, trace.Event{
-							Cycle: now + 1, Kind: trace.KindStallSpan,
-							A: span, B: int64(blocked[i]),
-							Sched: -1, Warp: -1,
-						})
-					}
-				}
-				now = wake - 1 // the increment below lands on the wake cycle
-			}
-		}
-		now++
-		if now > maxSimCycles {
-			return Result{}, fmt.Errorf("sim: exceeded %d cycles (deadlock?)", maxSimCycles)
-		}
+	var err error
+	if workers := cfg.smWorkers(); workers > 1 {
+		now, err = g.runShardedLoop(workers)
+	} else {
+		now, err = g.runSerialLoop()
+	}
+	if err != nil {
+		return Result{}, err
 	}
 
 	for _, sm := range g.sms {
@@ -193,6 +159,73 @@ func Run(cfg Config, k *Kernel) (Result, error) {
 		Kernel:        k,
 		Config:        cfg,
 	}, nil
+}
+
+// runSerialLoop is the single-goroutine reference cycle loop
+// (Config.SMWorkers <= 1 after resolution); runShardedLoop (shard.go) must
+// stay byte-identical to it.
+func (g *gpuState) runSerialLoop() (int64, error) {
+	var now int64
+	blocked := make([]int, len(g.sms)) // per-SM ldst-blocked schedulers this tick
+	for {
+		busy := false
+		issued := 0
+		for i, sm := range g.sms {
+			iss, blk := sm.tick(now)
+			issued += iss
+			blocked[i] = blk
+			if sm.busy() {
+				busy = true
+			}
+		}
+		if !busy && g.nextCTA >= g.totalCTAs {
+			break
+		}
+		if issued == 0 && !g.cfg.DenseClock {
+			wake := farFuture
+			for _, sm := range g.sms {
+				if w := sm.nextWake(now); w < wake {
+					wake = w
+				}
+			}
+			now = g.accountSkip(now, wake, blocked)
+		}
+		now++
+		if now > maxSimCycles {
+			return 0, fmt.Errorf("sim: exceeded %d cycles (deadlock?)", maxSimCycles)
+		}
+	}
+	return now, nil
+}
+
+// accountSkip applies the event-driven clock's jump: given the chip-wide
+// minimum wake cycle after a tick at `now` that issued nothing, it accounts
+// the dead span (now, wake) and returns the cycle the loop should increment
+// from (wake-1, so the caller's increment lands on the wake cycle), or now
+// unchanged when there is nothing to skip.
+func (g *gpuState) accountSkip(now, wake int64, blocked []int) int64 {
+	span := wake - now - 1
+	if span <= 0 || wake >= farFuture {
+		return now
+	}
+	// Dead span (now, wake): every state-change driver is in the wake set,
+	// so each skipped cycle would have stalled all schedulers of every SM —
+	// with the same per-SM LDST blockage this tick observed. Account those
+	// ticks arithmetically instead of running them. The tracer gets the
+	// same span so interval metrics can apportion it across bucket
+	// boundaries with identical arithmetic.
+	for i, sm := range g.sms {
+		sm.stats.IssueStallCycles += span * int64(g.cfg.Schedulers)
+		sm.stats.LDSTStallCycles += span * int64(blocked[i])
+		if sm.tr != nil {
+			sm.tr.Emit(sm.id, trace.Event{
+				Cycle: now + 1, Kind: trace.KindStallSpan,
+				A: span, B: int64(blocked[i]),
+				Sched: -1, Warp: -1,
+			})
+		}
+	}
+	return wake - 1
 }
 
 // Speedup returns (base cycles / duplo cycles) - 1 as the fractional

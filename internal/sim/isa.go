@@ -48,6 +48,20 @@ type Instr struct {
 
 const tileRows = 16
 
+// relocateInstr rebases a canonical-program instruction to a warp's
+// absolute tile origin (kernel.warpOffsets). MMA steps carry no address
+// and pass through untouched.
+func relocateInstr(in *Instr, aOff, bOff, dOff uint64) {
+	switch in.Op {
+	case OpLoadA:
+		in.Addr += aOff
+	case OpLoadB:
+		in.Addr += bOff
+	case OpStoreD:
+		in.Addr += dOff
+	}
+}
+
 // warpProgram synthesizes a warp's instruction stream lazily: programs for
 // large layers reach millions of instructions per CTA wave, so they are
 // decoded on demand from the loop structure instead of materialized.

@@ -80,6 +80,53 @@ type Kernel struct {
 	// unit at launch).
 	Conv   *conv.Params
 	Layout lowering.Layout
+
+	// progs caches the canonical warp programs shared read-only across
+	// every placeCTA call (see program); nil for hand-built Kernel
+	// literals, which fall back to building programs on demand.
+	progs *progCache
+}
+
+// progCache holds one immutable canonical program per warp shape
+// (rt row tiles x ct column tiles); index [0][*] and [*][0] stay nil.
+type progCache [warpTileM + 1][warpTileN + 1]*warpProgram
+
+// initProgCache eagerly builds the canonical program for every possible
+// warp shape. Kernels are immutable during simulation, so the cache can be
+// shared read-only across CTAs, SMs and concurrent Runs.
+func (k *Kernel) initProgCache() {
+	var c progCache
+	for rt := 1; rt <= warpTileM; rt++ {
+		for ct := 1; ct <= warpTileN; ct++ {
+			c[rt][ct] = newWarpProgram(k, canonicalWork(rt, ct))
+		}
+	}
+	k.progs = &c
+}
+
+// program returns the canonical warp program for an rt x ct warp shape —
+// tile origins relative to the warp's first row/column, relocated at decode
+// time by the warpCtx offsets (sm.go). Shapes with no tiles yield an empty
+// program.
+func (k *Kernel) program(rt, ct int) *warpProgram {
+	if k.progs != nil && rt >= 1 && rt <= warpTileM && ct >= 1 && ct <= warpTileN {
+		return k.progs[rt][ct]
+	}
+	return newWarpProgram(k, canonicalWork(rt, ct))
+}
+
+// canonicalWork builds the relative-origin work of an rt x ct warp shape:
+// row tiles at 0, 16, ... and column tiles likewise.
+func canonicalWork(rt, ct int) warpWork {
+	rows := make([]int, rt)
+	for i := range rows {
+		rows[i] = i * 16
+	}
+	cols := make([]int, ct)
+	for i := range cols {
+		cols[i] = i * 16
+	}
+	return warpWork{rowTiles: rows, colTiles: cols}
 }
 
 // NewConvKernel builds the tensor-core GEMM kernel for a lowered
@@ -106,6 +153,7 @@ func NewConvKernel(name string, p conv.Params) (*Kernel, error) {
 		Conv:      &p,
 		Layout:    layout,
 	}
+	k.initProgCache()
 	return k, nil
 }
 
@@ -116,7 +164,7 @@ func NewGemmKernel(name string, m, n, kdim int) (*Kernel, error) {
 	if m <= 0 || n <= 0 || kdim <= 0 {
 		return nil, fmt.Errorf("sim: invalid GEMM dims %dx%dx%d", m, n, kdim)
 	}
-	return &Kernel{
+	k := &Kernel{
 		Name:      name,
 		M:         m,
 		N:         n,
@@ -130,7 +178,9 @@ func NewGemmKernel(name string, m, n, kdim int) (*Kernel, error) {
 		BBase:     bBase,
 		DBase:     dBase,
 		Variant:   SharedCOnly,
-	}, nil
+	}
+	k.initProgCache()
+	return k, nil
 }
 
 // CTA tiling of the baseline kernel (cudaTensorCoreGemm decomposition): a
@@ -223,6 +273,46 @@ func (k *Kernel) warpAssignments(cta int) [warpsPerCTA]warpWork {
 	return out
 }
 
+// warpShape returns the tile shape of warp w of CTA cta — rt row tiles by
+// ct column tiles — plus the element origin of its first tile. The in-range
+// tiles of a warp always form a contiguous prefix (MPad/NPad are multiples
+// of 16 and tile origins ascend by 16), so (rt, ct) plus the origin fully
+// determines the work warpAssignments would list: rowTiles[i] =
+// firstRow + 16i, colTiles[j] = firstCol + 16j.
+func (k *Kernel) warpShape(cta, w int) (rt, ct, firstRow, firstCol int) {
+	mBase, nBase := k.ctaCoords(cta)
+	wr := w % ctaWarpRows
+	wc := w / ctaWarpRows
+	firstRow = mBase + wr*warpTileM*16
+	firstCol = nBase + wc*warpTileN*16
+	rt = tilePrefix(firstRow, k.MPad, warpTileM)
+	ct = tilePrefix(firstCol, k.NPad, warpTileN)
+	return rt, ct, firstRow, firstCol
+}
+
+// tilePrefix counts how many of a warp's up-to-max tiles starting at first
+// fall inside the padded extent.
+func tilePrefix(first, pad, max int) int {
+	if first >= pad {
+		return 0
+	}
+	if n := (pad - first) / 16; n < max {
+		return n
+	}
+	return max
+}
+
+// warpOffsets returns the address relocations that map the canonical
+// rt x ct program onto a warp whose first tile sits at (firstRow,
+// firstCol): canonical A loads shift by firstRow rows of the workspace,
+// B loads by firstCol columns of the filter matrix, D stores by both.
+func (k *Kernel) warpOffsets(firstRow, firstCol int) (aOff, bOff, dOff uint64) {
+	aOff = uint64(firstRow*k.KPad) * uint64(k.ElemSize)
+	bOff = uint64(firstCol) * uint64(k.ElemSize)
+	dOff = uint64(firstRow*k.NPad+firstCol) * uint64(k.DElemSize)
+	return aOff, bOff, dOff
+}
+
 // TraceWarp decodes the first n instructions of one warp of one CTA — the
 // inspection hook behind cmd/duplotrace. It returns fewer than n when the
 // warp's program is shorter, and an error for out-of-range indices.
@@ -233,13 +323,17 @@ func (k *Kernel) traceWarp(cta, warp, n int) ([]Instr, error) {
 	if warp < 0 || warp >= warpsPerCTA {
 		return nil, fmt.Errorf("sim: warp %d out of range (0-%d)", warp, warpsPerCTA-1)
 	}
-	prog := newWarpProgram(k, k.warpAssignments(cta)[warp])
+	rt, ct, firstRow, firstCol := k.warpShape(cta, warp)
+	prog := k.program(rt, ct)
+	aOff, bOff, dOff := k.warpOffsets(firstRow, firstCol)
 	if n > prog.Len() {
 		n = prog.Len()
 	}
 	out := make([]Instr, 0, n)
 	for i := 0; i < n; i++ {
-		out = append(out, prog.At(i))
+		in := prog.At(i)
+		relocateInstr(&in, aOff, bOff, dOff)
+		out = append(out, in)
 	}
 	return out, nil
 }

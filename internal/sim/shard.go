@@ -1,0 +1,424 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	duplo "duplo/internal/core"
+	"duplo/internal/trace"
+)
+
+// This file implements sharded SM execution: one sim.Run spread across
+// goroutines with a two-phase tick that stays byte-identical to the serial
+// loop (DESIGN.md §3, "SM sharding").
+//
+// Per tick:
+//
+//   - serial pre-phase (dispatcher goroutine): releaseLHB + retire for
+//     every SM in ascending order. Retirement is hoisted out of the
+//     parallel phase because finishing a CTA calls back into the shared
+//     dispatcher (ctaDone -> dispatchTo mutates nextCTA/launchSeq);
+//     scheduling never reads that state, so the hoist cannot change
+//     results.
+//   - phase A (parallel, one goroutine per contiguous SM shard):
+//     tickStaged — LDST drain plus scheduling. Everything touched is
+//     SM-local; operations that need the shared memory system are recorded
+//     into the SM's smStage with placeholder ready times. A warp issues at
+//     most once per tick, so a placeholder is never consulted before phase
+//     B overwrites it.
+//   - phase B (serial): commitStaged for every SM in ascending order
+//     replays the staged operations against the shared L2/DRAM in exactly
+//     the order the serial loop would have produced them — ascending
+//     (smID, op index) — then writes the resolved ready times back into
+//     regReady / ROB entries / ldstBusy slots.
+//
+// The event-driven clock composes: when the barrier reduction says the chip
+// issued nothing, the dispatcher min-reduces nextWake over all SMs — the
+// same chip-idle-only scan the serial loop does (scanning per shard during
+// phase A would waste work on every busy tick where only some shards were
+// idle). Chip-idle means nothing was staged this tick, and the previous
+// tick's ops are already committed, so nextWake never sees a placeholder.
+
+// smStage is the per-SM staging area of one sharded tick. Slices are arenas
+// reset (not freed) every tick; indices into them live in stagedOp.
+type smStage struct {
+	ops   []stagedOp
+	lines []uint64    // line addresses, all ops, in issue order
+	deps  []int32     // staged-op indices a load's completion waits on
+	ids   []duplo.ID  // row IDs needing SetMeta once the load resolves
+	pend  []pendEntry // IDs whose entry meta is stale until phase B
+	// resolved[i] is op i's completion cycle, filled during commitStaged
+	// (kept here so the backing array is reused across ticks).
+	resolved []int64
+	// events buffers this SM's phase-A trace events (sm.emit) so phase B
+	// can splice the replayed service events into serial capture order.
+	events []trace.Event
+}
+
+// stagedOp is one deferred memory instruction.
+type stagedOp struct {
+	isStore bool
+	warp    int16 // warp slot (phase-B writeback + service events)
+	dst     uint8 // destination register group (loads)
+	robIdx  int32 // index of the placeholder ROB entry in warps[warp].rob
+	ldstIdx int32 // placeholder slot in ldstBusy; -1 when no memory rows
+	// base is the completion lower bound known at stage time: the max over
+	// LHB-hit rows of (detection latency, entry meta), excluding rows that
+	// depend on a staged op.
+	base             int64
+	lineOff, lineLen int32 // stage.lines span (line requests, in order)
+	depOff, depLen   int32 // stage.deps span
+	idOff, idLen     int32 // stage.ids span
+	evPos            int32 // stage.events length when the op was staged
+}
+
+// pendEntry maps a row ID staged for SetMeta this tick to the staged op
+// that will produce its ready cycle. The slice is tiny (live only within
+// one tick), so linear scans beat a map.
+type pendEntry struct {
+	key uint64
+	op  int32
+}
+
+// pendKey packs an ID for pend lookups.
+func pendKey(id duplo.ID) uint64 { return uint64(id.Elem) | uint64(id.Batch)<<32 }
+
+// pendLookup returns the staged op that will set id's entry meta, if any.
+func (st *smStage) pendLookup(key uint64) (int32, bool) {
+	for i := range st.pend {
+		if st.pend[i].key == key {
+			return st.pend[i].op, true
+		}
+	}
+	return 0, false
+}
+
+// pendSet records (or re-points, when a later op re-allocates the same ID
+// after an eviction) the pending meta source of an ID.
+func (st *smStage) pendSet(key uint64, op int32) {
+	for i := range st.pend {
+		if st.pend[i].key == key {
+			st.pend[i].op = op
+			return
+		}
+	}
+	st.pend = append(st.pend, pendEntry{key: key, op: op})
+}
+
+// stageLoad records the deferred half of issueLoad: line requests from
+// sm.lineBuf, the dependency span [depLo, len(deps)), the placeholder ROB /
+// ldstBusy / regReady writes, and — for tracked loads with memory rows —
+// the row IDs whose LHB entry meta phase B must set. Placeholders use
+// now+1, which is always a lower bound on the real completion, and a warp
+// issues at most once per tick, so nothing reads them before commitStaged
+// overwrites them.
+func (sm *smState) stageLoad(w *warpCtx, in Instr, now, base int64, tracked bool, seqLo, seqHi uint64, depLo int) {
+	st := sm.stage
+	op := stagedOp{
+		warp:    int16(w.slot),
+		dst:     in.Dst,
+		robIdx:  int32(len(w.rob)),
+		ldstIdx: -1,
+		base:    base,
+		lineOff: int32(len(st.lines)),
+		depOff:  int32(depLo),
+		depLen:  int32(len(st.deps) - depLo),
+		idOff:   int32(len(st.ids)),
+	}
+	st.lines = append(st.lines, sm.lineBuf...)
+	op.lineLen = int32(len(st.lines)) - op.lineOff
+	anyMem := op.lineLen > 0 // a missing row always contributes >= 1 line
+	if anyMem {
+		op.ldstIdx = int32(len(sm.ldstBusy))
+		sm.ldstBusy = append(sm.ldstBusy, now+1)
+	}
+	w.regReady[in.Dst] = now + 1
+	w.robPush(robEntry{complete: now + 1, isTCLoad: tracked, seqLo: seqLo, seqHi: seqHi})
+	opIdx := int32(len(st.ops))
+	if tracked && anyMem {
+		// The serial path would SetMeta every StatusOK row after resolving
+		// the miss; record those IDs and mark them pending so later hits
+		// this tick wait on this op instead of reading the stale meta.
+		for r := 0; r < tileRows; r++ {
+			rowAddr := in.Addr + uint64(r)*uint64(in.RowPitch)
+			if id, s := sm.du.Gen().IDs(rowAddr); s == duplo.StatusOK {
+				st.ids = append(st.ids, id)
+				st.pendSet(pendKey(id), opIdx)
+			}
+		}
+	}
+	op.idLen = int32(len(st.ids)) - op.idOff
+	if sm.tr != nil {
+		op.evPos = int32(len(st.events))
+	}
+	st.ops = append(st.ops, op)
+}
+
+// stageStore records the deferred half of issueStore: only the line
+// transactions (sm.lineBuf) are shared-state; the completion time is local
+// and already applied by the caller.
+func (sm *smState) stageStore(now int64) {
+	st := sm.stage
+	op := stagedOp{
+		isStore: true,
+		ldstIdx: -1,
+		lineOff: int32(len(st.lines)),
+	}
+	st.lines = append(st.lines, sm.lineBuf...)
+	op.lineLen = int32(len(st.lines)) - op.lineOff
+	if sm.tr != nil {
+		op.evPos = int32(len(st.events))
+	}
+	st.ops = append(st.ops, op)
+}
+
+// commitStaged is phase B for one SM: replay the staged operations against
+// the shared memory system in issue order, resolve completion times, and
+// write them back. The dispatcher calls it for every SM in ascending order,
+// which reproduces the serial loop's memory-system mutation order exactly:
+// ascending (cycle, smID, request index).
+func (sm *smState) commitStaged(now int64) {
+	st := sm.stage
+	if len(st.ops) == 0 {
+		if len(st.events) > 0 {
+			for _, e := range st.events {
+				sm.tr.Emit(sm.id, e)
+			}
+			st.events = st.events[:0]
+		}
+		return
+	}
+	if cap(st.resolved) < len(st.ops) {
+		st.resolved = make([]int64, len(st.ops))
+	}
+	resolved := st.resolved[:len(st.ops)]
+	evCursor := 0
+	for i := range st.ops {
+		op := &st.ops[i]
+		if sm.tr != nil {
+			// Flush the buffered phase-A events that preceded this op
+			// (its issue event, LHB-hit rows, earlier stalls) so the
+			// replayed service events land in serial capture order.
+			for ; evCursor < int(op.evPos); evCursor++ {
+				sm.tr.Emit(sm.id, st.events[evCursor])
+			}
+		}
+		lines := st.lines[op.lineOff : op.lineOff+op.lineLen]
+		if op.isStore {
+			for range lines {
+				t := now
+				if sm.l1Port > t {
+					t = sm.l1Port
+				}
+				sm.l1Port = t + 1
+				sm.stats.L1Accesses++
+				sm.mem.writeLine(t)
+			}
+			continue
+		}
+		var memReady int64
+		for _, line := range lines {
+			t := now
+			if sm.l1Port > t {
+				t = sm.l1Port
+			}
+			sm.l1Port = t + 1
+			ready, src := sm.accessLine(line, t)
+			if ready > memReady {
+				memReady = ready
+			}
+			sm.stats.ServiceLines[src]++
+			if sm.tr != nil {
+				sm.tr.Emit(sm.id, trace.Event{
+					Cycle: t, Kind: trace.KindService, Addr: line,
+					Level: int8(src), Sched: -1, Warp: op.warp,
+				})
+			}
+		}
+		complete := op.base
+		for _, d := range st.deps[op.depOff : op.depOff+op.depLen] {
+			if resolved[d] > complete {
+				complete = resolved[d]
+			}
+		}
+		if memReady > complete {
+			complete = memReady
+		}
+		if complete == 0 {
+			complete = now + 1
+		}
+		resolved[i] = complete
+		w := &sm.warps[op.warp]
+		w.regReady[op.dst] = complete
+		w.rob[op.robIdx].complete = complete
+		if op.ldstIdx >= 0 {
+			sm.ldstBusy[op.ldstIdx] = complete
+		}
+		for _, id := range st.ids[op.idOff : op.idOff+op.idLen] {
+			// Op-order SetMeta converges to the serial final state even
+			// when an ID was evicted and re-allocated within the tick:
+			// the last writer matches the serial last writer.
+			sm.du.SetMeta(id, complete)
+		}
+	}
+	if sm.tr != nil {
+		for ; evCursor < len(st.events); evCursor++ {
+			sm.tr.Emit(sm.id, st.events[evCursor])
+		}
+		st.events = st.events[:0]
+	}
+	st.ops = st.ops[:0]
+	st.lines = st.lines[:0]
+	st.deps = st.deps[:0]
+	st.ids = st.ids[:0]
+	st.pend = st.pend[:0]
+}
+
+// shardState carries one shard's phase-A outputs across the barrier. Padded
+// so adjacent shards' results do not false-share a cache line.
+type shardState struct {
+	issued int
+	_      [56]byte
+}
+
+// shardPhaseA runs phase A for one contiguous shard of SMs: tickStaged per
+// SM. The nextWake reduction deliberately does NOT happen here: a shard
+// cannot know whether the whole chip issued nothing (the only case the wake
+// matters), and scanning wake state for every idle shard on a busy tick is
+// pure waste — the serial loop only scans on chip-idle ticks, so the barrier
+// does too.
+func (g *gpuState) shardPhaseA(sms []*smState, st *shardState, blocked []int, now int64) {
+	issued := 0
+	for _, sm := range sms {
+		iss, blk := sm.tickStaged(now)
+		issued += iss
+		blocked[sm.id] = blk
+	}
+	st.issued = issued
+}
+
+// runShardedLoop is the parallel cycle loop (Config.SMWorkers > 1): the
+// two-phase tick documented at the top of this file, with persistent worker
+// goroutines fed through one channel each (the channel send and the
+// WaitGroup establish the happens-before edges between the phases).
+//
+// On a single-processor runtime (GOMAXPROCS == 1) the shards run inline on
+// this goroutine instead: shard execution is mutually independent, so the
+// computation — and therefore the Result — is identical either way, and
+// goroutines would only add a per-tick handoff that a lone processor pays
+// for in context switches without any wall-clock return.
+func (g *gpuState) runShardedLoop(workers int) (int64, error) {
+	n := len(g.sms)
+	for _, sm := range g.sms {
+		sm.stage = &smStage{}
+	}
+	shardSize := (n + workers - 1) / workers
+	var shards [][]*smState
+	for lo := 0; lo < n; lo += shardSize {
+		hi := lo + shardSize
+		if hi > n {
+			hi = n
+		}
+		shards = append(shards, g.sms[lo:hi])
+	}
+	states := make([]shardState, len(shards))
+	blocked := make([]int, n) // per-SM ldst-blocked schedulers this tick
+	spawn := runtime.GOMAXPROCS(0) > 1 && len(shards) > 1
+	var wg sync.WaitGroup
+	ticks := make([]chan int64, len(shards))
+	if spawn {
+		for i := 1; i < len(shards); i++ {
+			ch := make(chan int64, 1)
+			ticks[i] = ch
+			go func(sms []*smState, st *shardState, ch chan int64) {
+				for now := range ch {
+					g.shardPhaseA(sms, st, blocked, now)
+					wg.Done()
+				}
+			}(shards[i], &states[i], ch)
+		}
+		defer func() {
+			for i := 1; i < len(shards); i++ {
+				close(ticks[i])
+			}
+		}()
+	}
+
+	// Phase B placement: commitStaged(t) only has to run after every shard's
+	// phase A of tick t and before the same SM's retirement and scheduling
+	// at t+1 — nothing in between reads the staged state. Folding it into
+	// the next tick's serial pre-phase saves a third pass over all SM state
+	// per tick (a measurable locality win). The exception is tracing: the
+	// skipped-span event accountSkip emits between ticks must land after
+	// tick t's spliced events in capture order, so traced runs commit
+	// eagerly at the barrier instead. Results are identical either way;
+	// only event capture order is at stake.
+	tracing := g.cfg.Tracer != nil
+	var now, stagedAt int64
+	for {
+		// Serial pre-phase, in ascending SM order (the order the serial
+		// loop interleaves the shared mutations in): committed staged ops
+		// of the previous tick, then retirement, CTA completion and
+		// backfill dispatch at `now`.
+		busy := false
+		for _, sm := range g.sms {
+			if !tracing {
+				sm.commitStaged(stagedAt)
+			}
+			sm.releaseLHB(now)
+			sm.retire(now)
+			if sm.busy() {
+				busy = true
+			}
+		}
+		// Phase A: parallel scheduling, shard 0 inline on this goroutine.
+		if spawn {
+			wg.Add(len(shards) - 1)
+			for i := 1; i < len(shards); i++ {
+				ticks[i] <- now
+			}
+			g.shardPhaseA(shards[0], &states[0], blocked, now)
+			wg.Wait()
+		} else {
+			for i := range shards {
+				g.shardPhaseA(shards[i], &states[i], blocked, now)
+			}
+		}
+		issued := 0
+		for i := range states {
+			issued += states[i].issued
+		}
+		if tracing {
+			// Eager phase B: canonical-order service of the staged ops,
+			// before accountSkip can emit a span event.
+			for _, sm := range g.sms {
+				sm.commitStaged(now)
+			}
+		}
+		stagedAt = now
+		if !busy && g.nextCTA >= g.totalCTAs {
+			// No active warps this tick, so phase A staged nothing; any
+			// deferred ops were committed in the pre-phase above.
+			break
+		}
+		if issued == 0 && !g.cfg.DenseClock {
+			// Chip-idle tick: nothing was staged anywhere (issues are the
+			// only source of staged ops) and the previous tick's ops were
+			// committed above, so nextWake reads exactly the state the
+			// serial loop would — no placeholders exist to mislead it.
+			wake := farFuture
+			for _, sm := range g.sms {
+				if w := sm.nextWake(now); w < wake {
+					wake = w
+				}
+			}
+			now = g.accountSkip(now, wake, blocked)
+		}
+		now++
+		if now > maxSimCycles {
+			return 0, fmt.Errorf("sim: exceeded %d cycles (deadlock?)", maxSimCycles)
+		}
+	}
+	return now, nil
+}

@@ -24,24 +24,30 @@ type robEntry struct {
 	seqHi    uint64
 }
 
-// warpCtx is the execution state of one warp slot.
+// warpCtx is the execution state of one warp slot. prog is the kernel's
+// shared canonical program for this warp's tile shape; aOff/bOff/dOff
+// relocate its addresses to the warp's absolute tile origin at decode time
+// (kernel.warpOffsets), which is what lets every same-shape warp of every
+// CTA share one immutable program.
 type warpCtx struct {
-	active   bool
-	prog     *warpProgram
-	pc       int
-	cur      Instr // decoded prog.At(pc)
-	curOK    bool
-	slot     int // SM warp slot (detection-unit warp id)
-	cta      int // resident-CTA index on this SM
-	age      int64
-	regReady []int64
-	rob      []robEntry
-	robHead  int
+	active           bool
+	prog             *warpProgram
+	aOff, bOff, dOff uint64
+	pc               int
+	cur              Instr // decoded prog.At(pc), relocated
+	curOK            bool
+	slot             int // SM warp slot (detection-unit warp id)
+	cta              int // resident-CTA index on this SM
+	age              int64
+	regReady         []int64
+	rob              []robEntry
+	robHead          int
 }
 
 func (w *warpCtx) decode() {
 	if !w.curOK && w.pc < w.prog.Len() {
 		w.cur = w.prog.At(w.pc)
+		relocateInstr(&w.cur, w.aOff, w.bOff, w.dOff)
 		w.curOK = true
 	}
 }
@@ -88,6 +94,15 @@ type smState struct {
 	ctaWarpsLeft map[int]int // resident CTA -> unfinished warps
 	resident     int
 
+	// stage is non-nil only in sharded mode (Config.SMWorkers > 1): memory
+	// operations scheduled during the parallel phase A are recorded here
+	// and replayed against the shared memory system in canonical order by
+	// commitStaged (phase B; see shard.go and DESIGN.md §3 "SM sharding").
+	stage *smStage
+	// buffering redirects emit into stage.events during phase A so phase B
+	// can splice replayed service events into serial capture order.
+	buffering bool
+
 	stats   Stats
 	lineBuf []uint64
 }
@@ -114,23 +129,26 @@ func newSM(cfg Config, id int, mem *memSystem, gpu *gpuState) *smState {
 }
 
 // placeCTA installs a CTA's warps into free slots. Caller guarantees
-// capacity (warpsPerCTA free slots).
+// capacity (warpsPerCTA free slots). Warps share the kernel's memoized
+// canonical program for their tile shape; only the per-warp address
+// offsets and the recycled regReady/rob backing arrays are written.
 func (sm *smState) placeCTA(k *Kernel, cta int, launchSeq int64) {
-	work := k.warpAssignments(cta)
-	placed := 0
 	live := 0
 	for w := 0; w < warpsPerCTA; w++ {
-		prog := newWarpProgram(k, work[w])
-		if prog.Len() == 0 {
+		rt, ct, firstRow, firstCol := k.warpShape(cta, w)
+		if rt == 0 || ct == 0 {
 			continue // edge warp with no tiles
 		}
+		prog := k.program(rt, ct)
+		aOff, bOff, dOff := k.warpOffsets(firstRow, firstCol)
 		// Find a free slot.
 		for s := range sm.warps {
 			if sm.warps[s].active {
 				continue
 			}
 			wc := &sm.warps[s]
-			// Recycle the slot's regReady backing array across CTA waves.
+			// Recycle the slot's regReady backing array across CTA waves
+			// (the rob backing array is recycled the same way below).
 			rr := wc.regReady
 			if cap(rr) < prog.RegGroups() {
 				rr = make([]int64, prog.RegGroups())
@@ -143,13 +161,15 @@ func (sm *smState) placeCTA(k *Kernel, cta int, launchSeq int64) {
 			*wc = warpCtx{
 				active:   true,
 				prog:     prog,
+				aOff:     aOff,
+				bOff:     bOff,
+				dOff:     dOff,
 				slot:     s,
 				cta:      cta,
 				age:      launchSeq*int64(warpsPerCTA) + int64(w),
 				regReady: rr,
 				rob:      wc.rob[:0],
 			}
-			placed++
 			live++
 			break
 		}
@@ -160,16 +180,34 @@ func (sm *smState) placeCTA(k *Kernel, cta int, launchSeq int64) {
 	}
 	sm.ctaWarpsLeft[cta] = live
 	sm.resident++
-	_ = placed
 }
 
-// tick advances the SM by one cycle. It returns how many instructions
-// issued and how many schedulers stalled on a full LDST queue this cycle;
-// the dispatcher uses both to decide whether the chip is dead at `now` and,
-// if so, to account the skipped span's stall counters arithmetically.
+// tick advances the SM by one cycle on the serial path. It returns how many
+// instructions issued and how many schedulers stalled on a full LDST queue
+// this cycle; the dispatcher uses both to decide whether the chip is dead at
+// `now` and, if so, to account the skipped span's stall counters
+// arithmetically.
 func (sm *smState) tick(now int64) (issued, ldstBlocked int) {
 	sm.releaseLHB(now)
 	sm.retire(now)
+	return sm.schedule(now)
+}
+
+// tickStaged is the sharded-mode phase A of a tick: the retirement half
+// (releaseLHB + retire) already ran in the dispatcher's serial pre-phase,
+// and scheduling runs here with memory operations staged instead of applied
+// (sm.stage is non-nil). Trace events are buffered so commitStaged can
+// splice the replayed service events into serial capture order.
+func (sm *smState) tickStaged(now int64) (issued, ldstBlocked int) {
+	sm.buffering = sm.tr != nil
+	issued, ldstBlocked = sm.schedule(now)
+	sm.buffering = false
+	return issued, ldstBlocked
+}
+
+// schedule runs the issue half of a tick: LDST queue drain, then one
+// scheduling attempt per warp scheduler.
+func (sm *smState) schedule(now int64) (issued, ldstBlocked int) {
 	sm.drainLDST(now)
 	for sid := 0; sid < sm.cfg.Schedulers; sid++ {
 		ok, blocked := sm.scheduleOne(sid, now)
@@ -182,13 +220,25 @@ func (sm *smState) tick(now int64) (issued, ldstBlocked int) {
 	if sm.tr != nil && issued < sm.cfg.Schedulers {
 		// Every non-issuing scheduler counted one IssueStallCycle this
 		// tick (scheduleOne); fold them into a single stall event.
-		sm.tr.Emit(sm.id, trace.Event{
+		sm.emit(trace.Event{
 			Cycle: now, Kind: trace.KindStall,
 			A: int64(sm.cfg.Schedulers - issued), B: int64(ldstBlocked),
 			Sched: -1, Warp: -1,
 		})
 	}
 	return issued, ldstBlocked
+}
+
+// emit routes a pipeline event to the tracer. During a sharded phase A
+// (buffering set) events are captured into the staging buffer instead, and
+// commitStaged forwards them in serial capture order. Callers guard with
+// sm.tr != nil.
+func (sm *smState) emit(e trace.Event) {
+	if sm.buffering {
+		sm.stage.events = append(sm.stage.events, e)
+		return
+	}
+	sm.tr.Emit(sm.id, e)
 }
 
 // retire pops completed instructions in program order per warp. Retired
@@ -241,7 +291,7 @@ func (sm *smState) releaseLHB(now int64) {
 			sm.du.Retire(q)
 		}
 		if sm.tr != nil {
-			sm.tr.Emit(sm.id, trace.Event{
+			sm.emit(trace.Event{
 				Cycle: now, Kind: trace.KindLHBRelease,
 				A: int64(e.seqHi - e.seqLo), Sched: -1, Warp: -1,
 			})
@@ -249,11 +299,24 @@ func (sm *smState) releaseLHB(now int64) {
 		i++
 	}
 	if i > 0 {
-		sm.lhbRelease = sm.lhbRelease[i:]
+		// Compact in place so the slice reuses its backing array instead of
+		// marching through memory one re-slice at a time.
+		n := copy(sm.lhbRelease, sm.lhbRelease[i:])
+		sm.lhbRelease = sm.lhbRelease[:n]
 	}
 }
 
-// drainLDST frees queue slots whose memory operations completed.
+// mshrSweepLen is the MSHR map size beyond which drainLDST sweeps dead
+// entries. Real MSHRs hold tens of entries; the map is allowed to grow well
+// past that as a fill-time memo, but without a sweep it would accrete one
+// entry per distinct line ever missed over a multi-million-cycle run.
+const mshrSweepLen = 1 << 12
+
+// drainLDST frees queue slots whose memory operations completed, and keeps
+// the MSHR map bounded by sweeping entries whose fills are in the past.
+// The sweep is behavior-invisible: accessLine deletes a passed entry on
+// first touch anyway, and the fill <= now condition is per-entry, so map
+// iteration order cannot leak into results.
 func (sm *smState) drainLDST(now int64) {
 	q := sm.ldstBusy[:0]
 	for _, t := range sm.ldstBusy {
@@ -262,6 +325,13 @@ func (sm *smState) drainLDST(now int64) {
 		}
 	}
 	sm.ldstBusy = q
+	if len(sm.mshr) > mshrSweepLen {
+		for line, fill := range sm.mshr {
+			if fill <= now {
+				delete(sm.mshr, line)
+			}
+		}
+	}
 }
 
 // scheduleOne runs one warp scheduler for one cycle: greedy-then-oldest.
@@ -363,7 +433,7 @@ func (sm *smState) tryIssue(sid int, w *warpCtx, now int64) (issued, ldstBlocked
 		if in.Op == OpLoadA || in.Op == OpLoadB {
 			ev.A = tileRows // row-vector loads this macro-op expands into
 		}
-		sm.tr.Emit(sm.id, ev)
+		sm.emit(ev)
 	}
 	switch in.Op {
 	case OpLoadA, OpLoadB:
@@ -384,6 +454,11 @@ func (sm *smState) tryIssue(sid int, w *warpCtx, now int64) (issued, ldstBlocked
 // expands into 16 row-vector loads (one 16-element row of the tile each);
 // each row load consults the Duplo detection unit individually (row IDs are
 // what the LHB tracks), and only the rows that miss generate line requests.
+//
+// In sharded mode (sm.stage non-nil) the detection-unit walk still runs
+// here — it is SM-local — but any load that needs the shared memory system,
+// or whose completion depends on a load staged earlier this tick, is
+// recorded via stageLoad and finished by commitStaged in phase B.
 func (sm *smState) issueLoad(w *warpCtx, in Instr, now int64) {
 	sm.stats.TensorLoads += tileRows
 	var seqLo, seqHi uint64
@@ -392,6 +467,11 @@ func (sm *smState) issueLoad(w *warpCtx, in Instr, now int64) {
 	anyMem := false
 	sm.lineBuf = sm.lineBuf[:0]
 	lb := uint64(sm.cfg.LineBytes)
+	st := sm.stage
+	depLo := 0
+	if st != nil {
+		depLo = len(st.deps)
+	}
 
 	for r := 0; r < tileRows; r++ {
 		rowAddr := in.Addr + uint64(r)*uint64(in.RowPitch)
@@ -412,8 +492,18 @@ func (sm *smState) issueLoad(w *warpCtx, in Instr, now int64) {
 				hit = true
 				sm.stats.LoadsEliminated++
 				t := now + int64(sm.du.Latency())
-				if res.Meta > t {
-					t = res.Meta
+				meta := res.Meta
+				if st != nil {
+					if op, ok := st.pendLookup(pendKey(res.ID)); ok {
+						// The source load is staged this tick: its ready
+						// cycle is unknown until phase B replays it, and the
+						// entry meta is stale. Depend on the staged op.
+						st.deps = append(st.deps, op)
+						meta = 0
+					}
+				}
+				if meta > t {
+					t = meta
 				}
 				if t > complete {
 					complete = t
@@ -422,7 +512,7 @@ func (sm *smState) issueLoad(w *warpCtx, in Instr, now int64) {
 				sm.stats.L1Accesses++
 				sm.stats.ServiceLines[ServiceLHB]++
 				if sm.tr != nil {
-					sm.tr.Emit(sm.id, trace.Event{
+					sm.emit(trace.Event{
 						Cycle: now, Kind: trace.KindLHBHit, Addr: rowAddr,
 						Sched: -1, Warp: int16(w.slot),
 					})
@@ -447,6 +537,15 @@ func (sm *smState) issueLoad(w *warpCtx, in Instr, now int64) {
 		}
 	}
 
+	if st != nil && (anyMem || len(st.deps) > depLo) {
+		// Needs the shared level, or a ready time phase B has not resolved
+		// yet: defer. Pure-hit loads with fully-known metas fall through to
+		// the serial tail, which touches nothing shared when lineBuf is
+		// empty.
+		sm.stageLoad(w, in, now, complete, tracked, seqLo, seqHi, depLo)
+		return
+	}
+
 	// Memory path for the missing rows: line requests serialized on the L1
 	// tag port.
 	var memReady int64
@@ -462,7 +561,7 @@ func (sm *smState) issueLoad(w *warpCtx, in Instr, now int64) {
 		}
 		sm.stats.ServiceLines[src]++
 		if sm.tr != nil {
-			sm.tr.Emit(sm.id, trace.Event{
+			sm.emit(trace.Event{
 				Cycle: t, Kind: trace.KindService, Addr: line,
 				Level: int8(src), Sched: -1, Warp: int16(w.slot),
 			})
@@ -502,7 +601,7 @@ func (sm *smState) accessLine(line uint64, t int64) (int64, ServiceLevel) {
 			sm.stats.MSHRMerges++
 			sm.stats.L1Hits++ // serviced without new traffic
 			if sm.tr != nil {
-				sm.tr.Emit(sm.id, trace.Event{
+				sm.emit(trace.Event{
 					Cycle: t, Kind: trace.KindMSHRMerge, Addr: line,
 					Sched: -1, Warp: -1,
 				})
@@ -522,20 +621,27 @@ func (sm *smState) accessLine(line uint64, t int64) (int64, ServiceLevel) {
 }
 
 // issueStore processes a wmma.store.d: write-through line transactions.
+// The store's completion time is local (StoreLatency), so in sharded mode
+// only the line transactions — L1 port arbitration plus the write-through
+// DRAM bandwidth charge — are staged for phase B.
 func (sm *smState) issueStore(w *warpCtx, in Instr, now int64) {
 	sm.stats.Stores++
 	if sm.du != nil {
 		sm.du.Store(in.Addr) // consistency hook (§IV-B); no-op outside workspace
 	}
 	sm.lineBuf = lineSpan(sm.lineBuf[:0], in, sm.cfg.LineBytes)
-	for range sm.lineBuf {
-		t := now
-		if sm.l1Port > t {
-			t = sm.l1Port
+	if sm.stage != nil {
+		sm.stageStore(now)
+	} else {
+		for range sm.lineBuf {
+			t := now
+			if sm.l1Port > t {
+				t = sm.l1Port
+			}
+			sm.l1Port = t + 1
+			sm.stats.L1Accesses++
+			sm.mem.writeLine(t)
 		}
-		sm.l1Port = t + 1
-		sm.stats.L1Accesses++
-		sm.mem.writeLine(t)
 	}
 	complete := now + int64(sm.cfg.StoreLatency)
 	sm.ldstBusy = append(sm.ldstBusy, complete)

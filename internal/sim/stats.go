@@ -64,7 +64,10 @@ type Stats struct {
 	AllocCount  int64
 }
 
-// Add accumulates other into s (used to merge per-SM stats).
+// Add accumulates other into s (used to merge per-SM stats). The merge in
+// Run iterates SMs in ascending id order regardless of how many goroutines
+// simulated them: every field is integer-summed (no floats), so the merged
+// Stats are byte-identical at any Config.SMWorkers value.
 func (s *Stats) Add(o Stats) {
 	s.Instructions += o.Instructions
 	s.TensorLoads += o.TensorLoads
