@@ -23,17 +23,27 @@
 //
 //	duploexp -exp none -trace-cell ResNet/C2 -trace c2.trace.json
 //
+// The run degrades gracefully instead of aborting: a failed simulation
+// renders its cells as ERR and the remaining experiments still run, with a
+// non-zero exit at the end. Ctrl-C (or SIGTERM, or the -timeout deadline)
+// cancels in-flight simulations, flushes the partial tables computed so
+// far, and exits non-zero. -max-cycles bounds each simulation's cycle
+// count as a livelock backstop (see DESIGN.md §5 "Robustness").
+//
 // Experiments: table1 table2 table3 fig2 fig3 fig9 fig10 fig11 fig12 fig13
 // fig14 energy latency smem cache evict index limits.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"duplo/internal/experiments"
@@ -58,6 +68,9 @@ var (
 	metricsCSV = flag.String("metrics-csv", "", "write the traced cell's per-interval metrics CSV to this file")
 	traceDuplo = flag.Bool("trace-duplo", true, "trace the cell's Duplo run (false = baseline)")
 	interval   = flag.Int64("interval", 10000, "metrics interval in cycles for the traced cell")
+	timeout    = flag.Duration("timeout", 0, "wall-clock deadline for the whole invocation (0 = none); partial tables are flushed")
+	maxCycles  = flag.Int64("max-cycles", 0, "abort any single simulation past this many cycles (0 = simulator default)")
+	crashDir   = flag.String("crash-dir", "", "directory for watchdog/panic crash dumps (default: system temp dir)")
 )
 
 // errUnknownExperiment preserves the historical exit code 2 for a bad -exp.
@@ -65,9 +78,20 @@ var errUnknownExperiment = errors.New("unknown experiment")
 
 func main() {
 	flag.Parse()
+	// Ctrl-C / SIGTERM cancels in-flight simulations through the context;
+	// the engine returns partial tables with ERR cells, which still get
+	// rendered before the non-zero exit. A second signal kills the process
+	// the usual way (NotifyContext restores the default handler on stop).
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	stop, err := profiling.Start(*cpuprofile, *memprofile)
 	if err == nil {
-		err = run()
+		err = run(ctx)
 		if e := stop(); err == nil {
 			err = e
 		}
@@ -81,8 +105,9 @@ func main() {
 	}
 }
 
-func run() error {
-	opts := experiments.Options{MaxCTAs: *ctas, SimSMs: *simSMs, Workers: *workers, SMWorkers: *smWorkers, Verbose: *verbose}
+func run(ctx context.Context) error {
+	opts := experiments.Options{MaxCTAs: *ctas, SimSMs: *simSMs, Workers: *workers, SMWorkers: *smWorkers, Verbose: *verbose,
+		Context: ctx, MaxCycles: *maxCycles, CrashDumpDir: *crashDir}
 	if *full {
 		opts.MaxCTAs = 0
 	}
@@ -119,6 +144,7 @@ func run() error {
 		{"index", r.AblationIndexing},
 	}
 
+	var failed []string
 	if *exp != "none" {
 		found := false
 		for _, e := range all {
@@ -128,24 +154,40 @@ func run() error {
 			found = true
 			t0 := time.Now()
 			tbl, err := e.run()
-			if err != nil {
-				return fmt.Errorf("%s: %w", e.id, err)
+			// A partial table (ERR cells) comes back alongside the error;
+			// flush it before recording the failure and moving on.
+			if tbl != nil {
+				if *csv {
+					tbl.CSV(os.Stdout)
+				} else {
+					tbl.Render(os.Stdout)
+				}
 			}
-			if *csv {
-				tbl.CSV(os.Stdout)
-			} else {
-				tbl.Render(os.Stdout)
+			if err != nil {
+				failed = append(failed, e.id)
+				fmt.Fprintf(os.Stderr, "duploexp: %s: %v\n", e.id, err)
 			}
 			if *verbose {
 				fmt.Fprintf(os.Stderr, "[%s took %v]\n", e.id, time.Since(t0).Round(time.Millisecond))
 			}
 			fmt.Println()
+			if ctx.Err() != nil {
+				fmt.Fprintln(os.Stderr, "duploexp: interrupted; partial tables flushed")
+				break
+			}
 		}
 		if !found {
 			return fmt.Errorf("%w %q", errUnknownExperiment, *exp)
 		}
 	}
-	return traceCellRun(r)
+	if err := traceCellRun(r); err != nil {
+		failed = append(failed, "trace-cell")
+		fmt.Fprintf(os.Stderr, "duploexp: trace-cell: %v\n", err)
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("%d of the requested experiments failed: %s", len(failed), strings.Join(failed, ", "))
+	}
+	return nil
 }
 
 // traceCellRun re-simulates the -trace-cell cell with the event collector

@@ -22,14 +22,23 @@
 // statistics; -interval sets the bucket width in cycles and -trace-run
 // picks which of the two runs (base or duplo) is traced. Tracing never
 // changes the simulated results (internal/trace, DESIGN.md §4).
+//
+// -timeout and -max-cycles bound each simulation in wall-clock time and
+// simulated cycles; Ctrl-C cancels cleanly. An aborted or livelocked run
+// returns a structured error referencing a crash-dump file (written under
+// -crash-dir, default the system temp dir) with the frozen pipeline state
+// (DESIGN.md §5 "Robustness").
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 
 	duplo "duplo/internal/core"
 	"duplo/internal/experiments"
@@ -57,13 +66,20 @@ var (
 	metricsCSV = flag.String("metrics-csv", "", "write per-interval time-series metrics CSV to this file")
 	interval   = flag.Int64("interval", 10000, "metrics interval in cycles (for -trace/-metrics-csv)")
 	traceRun   = flag.String("trace-run", "duplo", "which run the tracer observes: base or duplo")
+	timeout    = flag.Duration("timeout", 0, "abort either simulation past this much wall-clock time (0 = none)")
+	maxCycles  = flag.Int64("max-cycles", 0, "abort either simulation past this many cycles (0 = simulator default)")
+	crashDir   = flag.String("crash-dir", "", "directory for watchdog/panic crash dumps (default: system temp dir)")
 )
 
 func main() {
 	flag.Parse()
+	// Ctrl-C / SIGTERM cancels the in-flight simulations; the error names
+	// the cancellation point. A second signal kills the process outright.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	stop, err := profiling.Start(*cpuprofile, *memprofile)
 	if err == nil {
-		err = run()
+		err = run(ctx)
 		if e := stop(); err == nil {
 			err = e
 		}
@@ -74,7 +90,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	l, err := workload.Find(*net, *layer)
 	if err != nil {
 		return err
@@ -91,6 +107,9 @@ func run() error {
 	cfg.SimSMs = *simSMs
 	cfg.DenseClock = *dense
 	cfg.SMWorkers = *smWorkers
+	cfg.MaxCycles = *maxCycles
+	cfg.WallTimeout = *timeout
+	cfg.CrashDumpDir = *crashDir
 
 	fmt.Printf("%s: %v\n", l.FullName(), l.GemmParams())
 	fmt.Printf("GEMM %dx%dx%d (padded %dx%dx%d), %d CTAs total, simulating %d on %d SMs\n\n",
@@ -116,7 +135,7 @@ func run() error {
 
 	// Both runs go through the experiments runner: with -workers > 1 the
 	// baseline and Duplo simulations execute concurrently.
-	r := experiments.NewRunner(experiments.Options{MaxCTAs: *ctas, SimSMs: *simSMs, Workers: *workers, SMWorkers: *smWorkers})
+	r := experiments.NewRunner(experiments.Options{MaxCTAs: *ctas, SimSMs: *simSMs, Workers: *workers, SMWorkers: *smWorkers, Context: ctx})
 	var base, dup sim.Result
 	var baseErr, dupErr error
 	var wg sync.WaitGroup

@@ -17,7 +17,7 @@ func (r *Runner) AblationLatency() (*report.Table, error) {
 		"Layer", "2-cycle", "3-cycle", "Delta")
 	type row struct{ i2, i3 float64 }
 	rows := make([]row, len(layers))
-	err := r.forEachLayer(layers, func(i int, l workload.Layer) error {
+	errs := r.forEachLayer(layers, func(i int, l workload.Layer) error {
 		base, err := r.Baseline(l)
 		if err != nil {
 			return err
@@ -49,17 +49,20 @@ func (r *Runner) AblationLatency() (*report.Table, error) {
 		r.progress("latency %s done", l.FullName())
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
 	var deltas []float64
+	failed := false
 	for i, l := range layers {
+		if errs[i] != nil {
+			failed = true
+			t.AddRowCells([]string{l.FullName(), errCell, errCell, errCell})
+			continue
+		}
 		i2, i3 := rows[i].i2, rows[i].i3
 		deltas = append(deltas, i2-i3)
 		t.AddRowCells([]string{l.FullName(), report.Pct(i2), report.Pct(i3), report.Pct(i2 - i3)})
 	}
-	t.AddRowCells([]string{"Mean", "", "", report.Pct(mean(deltas))})
-	return t, nil
+	t.AddRowCells([]string{"Mean", "", "", footerCell(failed, report.Pct(mean(deltas)))})
+	return t, sweepError("lat", errs, func(i int) string { return layers[i].FullName() })
 }
 
 // AblationSharedMem reproduces the §II-C baseline study: which GEMM
@@ -74,7 +77,7 @@ func (r *Runner) AblationSharedMem() (*report.Table, error) {
 	for i := range cycles {
 		cycles[i] = make([]int64, len(variants))
 	}
-	err := r.fanOut(len(layers)*len(variants), func(idx int) error {
+	errs := r.fanOutAll(len(layers)*len(variants), func(idx int) error {
 		li, vi := idx/len(variants), idx%len(variants)
 		l, v := layers[li], variants[vi]
 		k, err := LayerKernel(l)
@@ -91,11 +94,16 @@ func (r *Runner) AblationSharedMem() (*report.Table, error) {
 		r.progress("smem %s %s done", l.FullName(), v)
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
 	var gains []float64
+	failed := false
 	for li, l := range layers {
+		// The gain column relates the first and last variant, so any failed
+		// variant cell degrades the whole layer row.
+		if errs[3*li] != nil || errs[3*li+1] != nil || errs[3*li+2] != nil {
+			failed = true
+			t.AddRowCells([]string{l.FullName(), errCell, errCell, errCell, errCell})
+			continue
+		}
 		c := cycles[li]
 		gain := float64(c[0])/float64(c[2]) - 1
 		gains = append(gains, gain)
@@ -103,8 +111,9 @@ func (r *Runner) AblationSharedMem() (*report.Table, error) {
 			fmt.Sprint(c[0]), fmt.Sprint(c[1]), fmt.Sprint(c[2]),
 			report.Pct(gain)})
 	}
-	t.AddRowCells([]string{"Mean", "", "", "", report.Pct(mean(gains))})
-	return t, nil
+	t.AddRowCells([]string{"Mean", "", "", "", footerCell(failed, report.Pct(mean(gains)))})
+	return t, sweepError("smem", errs, gridLabel(layers, len(variants),
+		func(vi int) string { return variants[vi].String() }))
 }
 
 // AblationCacheScaling reproduces the §V-D claim: even 16x L1 and 4x L2
@@ -115,7 +124,7 @@ func (r *Runner) AblationCacheScaling() (*report.Table, error) {
 		"Layer", "Baseline cyc", "16xL1+4xL2 cyc", "Gain")
 	type row struct{ base, big int64 }
 	rows := make([]row, len(layers))
-	err := r.forEachLayer(layers, func(i int, l workload.Layer) error {
+	errs := r.forEachLayer(layers, func(i int, l workload.Layer) error {
 		base, err := r.Baseline(l)
 		if err != nil {
 			return err
@@ -135,17 +144,20 @@ func (r *Runner) AblationCacheScaling() (*report.Table, error) {
 		r.progress("cache %s done", l.FullName())
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
 	var gains []float64
+	failed := false
 	for i, l := range layers {
+		if errs[i] != nil {
+			failed = true
+			t.AddRowCells([]string{l.FullName(), errCell, errCell, errCell})
+			continue
+		}
 		gain := float64(rows[i].base)/float64(rows[i].big) - 1
 		gains = append(gains, gain)
 		t.AddRowCells([]string{l.FullName(), fmt.Sprint(rows[i].base), fmt.Sprint(rows[i].big), report.Pct(gain)})
 	}
-	t.AddRowCells([]string{"Mean", "", "", report.Pct(mean(gains))})
-	return t, nil
+	t.AddRowCells([]string{"Mean", "", "", footerCell(failed, report.Pct(mean(gains)))})
+	return t, sweepError("cache", errs, func(i int) string { return layers[i].FullName() })
 }
 
 // AblationEviction quantifies the §V-C analysis: the gap between the
@@ -171,7 +183,7 @@ func (r *Runner) AblationEviction() (*report.Table, error) {
 	for i := range cells {
 		cells[i] = make([]cell, len(points))
 	}
-	err := r.fanOut(len(layers)*len(points), func(idx int) error {
+	errs := r.fanOutAll(len(layers)*len(points), func(idx int) error {
 		li, pi := idx/len(points), idx%len(points)
 		l := layers[li]
 		base, err := r.Baseline(l)
@@ -186,13 +198,16 @@ func (r *Runner) AblationEviction() (*report.Table, error) {
 		r.progress("evict %s %s done", l.FullName(), points[pi].name)
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
 	agg := make([][]float64, 2*len(points))
+	colErr := make([]bool, len(points))
 	for li, l := range layers {
 		row := []string{l.FullName()}
 		for pi := range points {
+			if errs[li*len(points)+pi] != nil {
+				colErr[pi] = true
+				row = append(row, errCell, errCell)
+				continue
+			}
 			c := cells[li][pi]
 			agg[2*pi] = append(agg[2*pi], c.hit)
 			agg[2*pi+1] = append(agg[2*pi+1], c.imp)
@@ -202,10 +217,13 @@ func (r *Runner) AblationEviction() (*report.Table, error) {
 	}
 	g := []string{"Mean/Gmean"}
 	for i := range points {
-		g = append(g, report.PctU(mean(agg[2*i])), report.Pct(gmeanImprovement(agg[2*i+1])))
+		g = append(g,
+			footerCell(colErr[i], report.PctU(mean(agg[2*i]))),
+			footerCell(colErr[i], report.Pct(gmeanImprovement(agg[2*i+1]))))
 	}
 	t.AddRowCells(g)
-	return t, nil
+	return t, sweepError("evict", errs, gridLabel(layers, len(points),
+		func(pi int) string { return points[pi].name }))
 }
 
 // AblationIndexing compares the default XOR-fold hashed LHB index with the
@@ -219,7 +237,7 @@ func (r *Runner) AblationIndexing() (*report.Table, error) {
 		hashHit, modHit, ih, im float64
 	}
 	rows := make([]row, len(layers))
-	err := r.forEachLayer(layers, func(i int, l workload.Layer) error {
+	errs := r.forEachLayer(layers, func(i int, l workload.Layer) error {
 		base, err := r.Baseline(l)
 		if err != nil {
 			return err
@@ -236,17 +254,22 @@ func (r *Runner) AblationIndexing() (*report.Table, error) {
 		r.progress("index %s done", l.FullName())
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
 	var dh, dm []float64
+	failed := false
 	for i, l := range layers {
+		if errs[i] != nil {
+			failed = true
+			t.AddRowCells([]string{l.FullName(), errCell, errCell, errCell, errCell})
+			continue
+		}
 		dh = append(dh, rows[i].ih)
 		dm = append(dm, rows[i].im)
 		t.AddRowCells([]string{l.FullName(),
 			report.PctU(rows[i].hashHit), report.PctU(rows[i].modHit),
 			report.Pct(rows[i].ih), report.Pct(rows[i].im)})
 	}
-	t.AddRowCells([]string{"Gmean", "", "", report.Pct(gmeanImprovement(dh)), report.Pct(gmeanImprovement(dm))})
-	return t, nil
+	t.AddRowCells([]string{"Gmean", "", "",
+		footerCell(failed, report.Pct(gmeanImprovement(dh))),
+		footerCell(failed, report.Pct(gmeanImprovement(dm)))})
+	return t, sweepError("index", errs, func(i int) string { return layers[i].FullName() })
 }

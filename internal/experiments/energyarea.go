@@ -20,7 +20,7 @@ func (r *Runner) EnergyArea() (*report.Table, error) {
 		baseNJ, dupNJ, saving, dramSaving float64
 	}
 	rows := make([]row, len(layers))
-	err := r.forEachLayer(layers, func(i int, l workload.Layer) error {
+	errs := r.forEachLayer(layers, func(i int, l workload.Layer) error {
 		base, err := r.Baseline(l)
 		if err != nil {
 			return err
@@ -39,21 +39,26 @@ func (r *Runner) EnergyArea() (*report.Table, error) {
 		r.progress("energy %s done", l.FullName())
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
 	var savings, dramSavings []float64
+	failed := false
 	for i, l := range layers {
+		if errs[i] != nil {
+			failed = true
+			t.AddRowCells([]string{l.FullName(), errCell, errCell, errCell, errCell})
+			continue
+		}
 		savings = append(savings, rows[i].saving)
 		dramSavings = append(dramSavings, rows[i].dramSaving)
 		t.AddRowCells([]string{l.FullName(),
 			fmt.Sprintf("%.1f", rows[i].baseNJ/1e3), fmt.Sprintf("%.1f", rows[i].dupNJ/1e3),
 			report.Pct(rows[i].saving), report.Pct(rows[i].dramSaving)})
 	}
-	t.AddRowCells([]string{"Mean", "", "", report.Pct(mean(savings)), report.Pct(mean(dramSavings))})
+	t.AddRowCells([]string{"Mean", "", "",
+		footerCell(failed, report.Pct(mean(savings))),
+		footerCell(failed, report.Pct(mean(dramSavings)))})
 	perEntry, totalBits := energy.LHBBits(1024)
 	t.AddRowCells([]string{"", "", "", "", ""})
 	t.AddRowCells([]string{fmt.Sprintf("LHB: %d bits/entry, %d KB total", perEntry, totalBits/8/1024), "",
 		fmt.Sprintf("area overhead vs 256KB RF: %s", report.PctU(energy.AreaOverhead(m, 1024))), "", ""})
-	return t, nil
+	return t, sweepError("energy", errs, func(i int) string { return layers[i].FullName() })
 }

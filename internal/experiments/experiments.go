@@ -10,7 +10,9 @@
 package experiments
 
 import (
+	"context"
 	"math"
+	"time"
 
 	duplo "duplo/internal/core"
 	"duplo/internal/sim"
@@ -40,6 +42,19 @@ type Options struct {
 	// Verbose prints progress lines through Progress (stdout when nil).
 	Verbose  bool
 	Progress func(string)
+	// Context cancels in-flight and future simulations (nil = Background).
+	// A cancelled sweep still returns its table with "ERR" cells for the
+	// runs that did not finish.
+	Context context.Context
+	// MaxCycles bounds each simulation's cycle count (sim.Config.MaxCycles;
+	// 0 = the simulator's own generous default).
+	MaxCycles int64
+	// WallTimeout bounds each simulation's wall-clock time
+	// (sim.Config.WallTimeout; 0 = none).
+	WallTimeout time.Duration
+	// CrashDumpDir receives watchdog/panic crash dumps
+	// (sim.Config.CrashDumpDir; "" = os.TempDir()).
+	CrashDumpDir string
 }
 
 // DefaultOptions returns the standard experiment scale.
@@ -73,6 +88,9 @@ func (o Options) config() sim.Config {
 	if o.SMWorkers > 0 {
 		cfg.SMWorkers = o.SMWorkers
 	}
+	cfg.MaxCycles = o.MaxCycles
+	cfg.WallTimeout = o.WallTimeout
+	cfg.CrashDumpDir = o.CrashDumpDir
 	return cfg
 }
 

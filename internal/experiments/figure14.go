@@ -61,34 +61,55 @@ func (r *Runner) networkCycles(layers []workload.Layer, training, duploOn bool) 
 // Fig14 reproduces Figure 14: network-level execution time of baseline (B)
 // and Duplo (D) for inference and training, normalized to the baseline.
 // Training improves less than inference because the weight-gradient GEMM
-// has no lowered workspace for Duplo to deduplicate.
+// has no lowered workspace for Duplo to deduplicate. A failed
+// (network, pass) cell renders "ERR" and poisons only its own Mean row.
 func (r *Runner) Fig14() (*report.Table, error) {
 	t := report.NewTable("Figure 14: Network-level normalized execution time (lower is better)",
 		"Network", "Pass", "Baseline", "Duplo", "Reduction")
 	var inferImps, trainImps []float64
+	var errs []error
+	var labels []string
+	inferFailed, trainFailed := false, false
 	for _, name := range workload.NetworkNames() {
 		layers := workload.Networks()[name]
 		for _, training := range []bool{false, true} {
-			base, err := r.networkCycles(layers, training, false)
-			if err != nil {
-				return nil, err
-			}
-			dup, err := r.networkCycles(layers, training, true)
-			if err != nil {
-				return nil, err
-			}
-			red := 1 - dup/base
 			pass := "Infer."
 			if training {
 				pass = "Train."
-				trainImps = append(trainImps, red)
-			} else {
-				inferImps = append(inferImps, red)
 			}
-			t.AddRowCells([]string{name, pass, "1.00", fmt.Sprintf("%.2f", dup/base), report.Pct(red)})
+			labels = append(labels, name+"/"+pass)
+			base, err := r.networkCycles(layers, training, false)
+			if err == nil {
+				var dup float64
+				dup, err = r.networkCycles(layers, training, true)
+				if err == nil {
+					red := 1 - dup/base
+					if training {
+						trainImps = append(trainImps, red)
+					} else {
+						inferImps = append(inferImps, red)
+					}
+					t.AddRowCells([]string{name, pass, "1.00", fmt.Sprintf("%.2f", dup/base), report.Pct(red)})
+				}
+			}
+			errs = append(errs, err)
+			if err != nil {
+				if training {
+					trainFailed = true
+				} else {
+					inferFailed = true
+				}
+				t.AddRowCells([]string{name, pass, "1.00", errCell, errCell})
+			}
 		}
 	}
-	t.AddRowCells([]string{"Mean", "Infer.", "1.00", "", report.Pct(mean(inferImps))})
-	t.AddRowCells([]string{"Mean", "Train.", "1.00", "", report.Pct(mean(trainImps))})
-	return t, nil
+	meanCell := func(failed bool, v []float64) string {
+		if failed {
+			return errCell
+		}
+		return report.Pct(mean(v))
+	}
+	t.AddRowCells([]string{"Mean", "Infer.", "1.00", "", meanCell(inferFailed, inferImps)})
+	t.AddRowCells([]string{"Mean", "Train.", "1.00", "", meanCell(trainFailed, trainImps)})
+	return t, sweepError("fig14", errs, func(i int) string { return labels[i] })
 }

@@ -12,7 +12,9 @@ import (
 // Fig9 reproduces Figure 9: per-layer performance improvement of Duplo over
 // the baseline for variable-sized LHBs (256 to 2048 entries plus the
 // oracle), ending with the gmean row. The layer x size sweep fans out on
-// the worker pool; rows are assembled in Table I order.
+// the worker pool; rows are assembled in Table I order. On partial
+// failure the table is still returned (failed cells render "ERR")
+// alongside a *SweepError naming them.
 func (r *Runner) Fig9() (*report.Table, error) {
 	layers := r.opts.layers()
 	headers := []string{"Layer"}
@@ -24,7 +26,7 @@ func (r *Runner) Fig9() (*report.Table, error) {
 	for i := range imps {
 		imps[i] = make([]float64, len(LHBPoints))
 	}
-	err := r.fanOut(len(layers)*len(LHBPoints), func(idx int) error {
+	errs := r.fanOutAll(len(layers)*len(LHBPoints), func(idx int) error {
 		li, pi := idx/len(LHBPoints), idx%len(LHBPoints)
 		l := layers[li]
 		base, err := r.Baseline(l)
@@ -39,24 +41,9 @@ func (r *Runner) Fig9() (*report.Table, error) {
 		r.progress("fig9 %s %s done", l.FullName(), LHBPoints[pi].Name)
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	agg := make([][]float64, len(LHBPoints))
-	for li, l := range layers {
-		row := []string{l.FullName()}
-		for pi := range LHBPoints {
-			agg[pi] = append(agg[pi], imps[li][pi])
-			row = append(row, report.Pct(imps[li][pi]))
-		}
-		t.AddRowCells(row)
-	}
-	g := []string{"Gmean"}
-	for i := range LHBPoints {
-		g = append(g, report.Pct(gmeanImprovement(agg[i])))
-	}
-	t.AddRowCells(g)
-	return t, nil
+	renderGrid(t, layers, len(LHBPoints), errs, imps, report.Pct, "Gmean", gmeanImprovement)
+	return t, sweepError("fig9", errs, gridLabel(layers, len(LHBPoints),
+		func(pi int) string { return LHBPoints[pi].Name }))
 }
 
 // Fig10 reproduces Figure 10: LHB hit rate per layer for the same sweep.
@@ -71,7 +58,7 @@ func (r *Runner) Fig10() (*report.Table, error) {
 	for i := range rates {
 		rates[i] = make([]float64, len(LHBPoints))
 	}
-	err := r.fanOut(len(layers)*len(LHBPoints), func(idx int) error {
+	errs := r.fanOutAll(len(layers)*len(LHBPoints), func(idx int) error {
 		li, pi := idx/len(LHBPoints), idx%len(LHBPoints)
 		dup, err := r.Duplo(layers[li], LHBPoints[pi].Cfg)
 		if err != nil {
@@ -81,24 +68,9 @@ func (r *Runner) Fig10() (*report.Table, error) {
 		r.progress("fig10 %s %s done", layers[li].FullName(), LHBPoints[pi].Name)
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	agg := make([][]float64, len(LHBPoints))
-	for li, l := range layers {
-		row := []string{l.FullName()}
-		for pi := range LHBPoints {
-			agg[pi] = append(agg[pi], rates[li][pi])
-			row = append(row, report.PctU(rates[li][pi]))
-		}
-		t.AddRowCells(row)
-	}
-	g := []string{"Mean"}
-	for i := range LHBPoints {
-		g = append(g, report.PctU(mean(agg[i])))
-	}
-	t.AddRowCells(g)
-	return t, nil
+	renderGrid(t, layers, len(LHBPoints), errs, rates, report.PctU, "Mean", mean)
+	return t, sweepError("fig10", errs, gridLabel(layers, len(LHBPoints),
+		func(pi int) string { return LHBPoints[pi].Name }))
 }
 
 // fig11Row carries one layer's pre-rendered baseline/Duplo rows and its
@@ -117,7 +89,7 @@ func (r *Runner) Fig11() (*report.Table, error) {
 	t := report.NewTable("Figure 11: Memory service breakdown (B=baseline, D=Duplo 1024)",
 		"Layer", "Cfg", "LHB", "L1$", "L2$", "DRAM", "dDRAM", "dL1svc", "dL2svc")
 	rows := make([]fig11Row, len(layers))
-	err := r.forEachLayer(layers, func(i int, l workload.Layer) error {
+	errs := r.forEachLayer(layers, func(i int, l workload.Layer) error {
 		base, err := r.Baseline(l)
 		if err != nil {
 			return err
@@ -146,20 +118,30 @@ func (r *Runner) Fig11() (*report.Table, error) {
 		r.progress("fig11 %s done", l.FullName())
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
 	var dDRAM, dL1, dL2 []float64
-	for _, row := range rows {
+	failed := false
+	for i, row := range rows {
+		if errs[i] != nil {
+			failed = true
+			t.AddRowCells([]string{layers[i].FullName(), "B",
+				errCell, errCell, errCell, errCell, "", "", ""})
+			t.AddRowCells([]string{"", "D",
+				errCell, errCell, errCell, errCell, errCell, errCell, errCell})
+			continue
+		}
 		t.AddRowCells(row.baseCells)
 		t.AddRowCells(row.dupCells)
 		dDRAM = append(dDRAM, row.dDRAM)
 		dL1 = append(dL1, row.dL1)
 		dL2 = append(dL2, row.dL2)
 	}
-	t.AddRowCells([]string{"Mean", "", "", "", "", "",
-		report.Pct(mean(dDRAM)), report.Pct(mean(dL1)), report.Pct(mean(dL2))})
-	return t, nil
+	if failed {
+		t.AddRowCells([]string{"Mean", "", "", "", "", "", errCell, errCell, errCell})
+	} else {
+		t.AddRowCells([]string{"Mean", "", "", "", "", "",
+			report.Pct(mean(dDRAM)), report.Pct(mean(dL1)), report.Pct(mean(dL2))})
+	}
+	return t, sweepError("fig11", errs, func(i int) string { return layers[i].FullName() })
 }
 
 func ratioDelta(a, b int64) float64 {
@@ -187,7 +169,7 @@ func (r *Runner) Fig12() (*report.Table, error) {
 	for i := range imps {
 		imps[i] = make([]float64, len(ways))
 	}
-	err := r.fanOut(len(layers)*len(ways), func(idx int) error {
+	errs := r.fanOutAll(len(layers)*len(ways), func(idx int) error {
 		li, wi := idx/len(ways), idx%len(ways)
 		l := layers[li]
 		base, err := r.Baseline(l)
@@ -202,24 +184,9 @@ func (r *Runner) Fig12() (*report.Table, error) {
 		r.progress("fig12 %s %d-way done", l.FullName(), ways[wi])
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	agg := make([][]float64, len(ways))
-	for li, l := range layers {
-		row := []string{l.FullName()}
-		for wi := range ways {
-			agg[wi] = append(agg[wi], imps[li][wi])
-			row = append(row, report.Pct(imps[li][wi]))
-		}
-		t.AddRowCells(row)
-	}
-	g := []string{"Gmean"}
-	for i := range ways {
-		g = append(g, report.Pct(gmeanImprovement(agg[i])))
-	}
-	t.AddRowCells(g)
-	return t, nil
+	renderGrid(t, layers, len(ways), errs, imps, report.Pct, "Gmean", gmeanImprovement)
+	return t, sweepError("fig12", errs, gridLabel(layers, len(ways),
+		func(wi int) string { return fmt.Sprintf("%d-way", ways[wi]) }))
 }
 
 // Fig13 reproduces Figure 13: Duplo's improvement with batch sizes 8, 16
@@ -238,7 +205,7 @@ func (r *Runner) Fig13() (*report.Table, error) {
 	for i := range imps {
 		imps[i] = make([]float64, len(batches))
 	}
-	err := r.fanOut(len(layers)*len(batches), func(idx int) error {
+	errs := r.fanOutAll(len(layers)*len(batches), func(idx int) error {
 		li, bi := idx/len(batches), idx%len(batches)
 		l, b := layers[li], batches[bi]
 		lb := l
@@ -263,22 +230,7 @@ func (r *Runner) Fig13() (*report.Table, error) {
 		r.progress("fig13 %s b%d done", l.FullName(), b)
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	agg := make([][]float64, len(batches))
-	for li, l := range layers {
-		row := []string{l.FullName()}
-		for bi := range batches {
-			agg[bi] = append(agg[bi], imps[li][bi])
-			row = append(row, report.Pct(imps[li][bi]))
-		}
-		t.AddRowCells(row)
-	}
-	g := []string{"Gmean"}
-	for i := range batches {
-		g = append(g, report.Pct(gmeanImprovement(agg[i])))
-	}
-	t.AddRowCells(g)
-	return t, nil
+	renderGrid(t, layers, len(batches), errs, imps, report.Pct, "Gmean", gmeanImprovement)
+	return t, sweepError("fig13", errs, gridLabel(layers, len(batches),
+		func(bi int) string { return fmt.Sprintf("b%d", batches[bi]) }))
 }

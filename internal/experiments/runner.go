@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
@@ -26,8 +27,13 @@ import (
 type Runner struct {
 	opts    Options
 	workers int
-	sem     chan struct{} // bounds concurrently executing simulations
-	sink    *report.Sink  // nil unless Verbose
+	sem     chan struct{}   // bounds concurrently executing simulations
+	sink    *report.Sink    // nil unless Verbose
+	ctx     context.Context // cancels in-flight and future simulations
+
+	// simFn executes one simulation (sim.RunContext). It is a seam the
+	// robustness tests override to inject deterministic per-cell failures.
+	simFn func(context.Context, sim.Config, *sim.Kernel) (sim.Result, error)
 
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
@@ -57,11 +63,17 @@ func NewRunner(opts Options) *Runner {
 			sink = report.NewWriterSink(os.Stdout)
 		}
 	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	return &Runner{
 		opts:    opts,
 		workers: w,
 		sem:     make(chan struct{}, w),
 		sink:    sink,
+		ctx:     ctx,
+		simFn:   sim.RunContext,
 		cache:   make(map[string]*cacheEntry),
 	}
 }
@@ -87,14 +99,18 @@ func (r *Runner) progress(format string, args ...interface{}) {
 // so a deliberate cross-mode comparison is never served from the cache.
 func (r *Runner) key(kernelName string, cfg sim.Config) string {
 	d := cfg.DetectCfg
-	return fmt.Sprintf("%s|d=%v|e=%d,w=%d,o=%v,ne=%v,mi=%v|lat=%d|cta=%d|sm=%d|b=%d|rl=%d|l1=%d|l2=%d|dc=%v|smw=%d",
+	return fmt.Sprintf("%s|d=%v|e=%d,w=%d,o=%v,ne=%v,mi=%v|lat=%d|cta=%d|sm=%d|b=%d|rl=%d|l1=%d|l2=%d|dc=%v|smw=%d|mc=%d|wt=%v",
 		kernelName, cfg.Duplo, d.LHB.Entries, d.LHB.Ways, d.LHB.Oracle, d.LHB.NeverEvict, d.LHB.ModuloIndex,
 		d.LatencyCycles, cfg.MaxCTAs, cfg.SimSMs, 0, cfg.RetireDelay, cfg.L1KB, cfg.L2KB, cfg.DenseClock,
-		cfg.SMWorkers)
+		cfg.SMWorkers, cfg.MaxCycles, cfg.WallTimeout)
 }
 
 // Run simulates kernel k under cfg, memoized and singleflighted: safe for
-// concurrent use, and each unique key simulates exactly once.
+// concurrent use, and each unique key simulates at most once per attempt
+// wave. Only successful runs stay memoized — a failed run's entry is
+// evicted before it is published, so concurrent waiters get the error but
+// a later request retries instead of being served a poisoned key for the
+// process lifetime.
 func (r *Runner) Run(k *sim.Kernel, cfg sim.Config) (sim.Result, error) {
 	key := r.key(k.Name, cfg)
 	r.mu.Lock()
@@ -109,40 +125,66 @@ func (r *Runner) Run(k *sim.Kernel, cfg sim.Config) (sim.Result, error) {
 
 	r.sem <- struct{}{}
 	r.execs.Add(1)
-	e.res, e.err = sim.Run(cfg, k)
+	e.res, e.err = r.simFn(r.ctx, cfg, k)
 	<-r.sem
+	if e.err != nil {
+		// Evict before closing done: once waiters wake, the failed key
+		// must already be gone. Guard on identity — a retry may have
+		// installed a fresh entry in the window.
+		r.mu.Lock()
+		if r.cache[key] == e {
+			delete(r.cache, key)
+		}
+		r.mu.Unlock()
+	}
 	close(e.done)
 	return e.res, e.err
 }
 
-// fanOut runs n independent tasks on the worker pool and returns the
-// lowest-index error (deterministic regardless of completion order). With
-// Workers == 1 it degenerates to a plain serial loop — the serial path.
-// Tasks must write their outputs to disjoint, index-addressed slots so
-// assembly order is the caller's loop order, not completion order.
-func (r *Runner) fanOut(n int, f func(i int) error) error {
+// fanOutAll runs n independent tasks on the worker pool and returns one
+// error slot per task. Every task runs — the serial path does not stop at
+// the first failure — so a sweep degrades to per-cell errors instead of
+// aborting the figure, and the outputs written so far stay valid for a
+// partial table. A panicking task is contained into its own error slot;
+// the remaining tasks still run. Tasks must write their outputs to
+// disjoint, index-addressed slots so assembly order is the caller's loop
+// order, not completion order.
+func (r *Runner) fanOutAll(n int, f func(i int) error) []error {
+	errs := make([]error, n)
 	if n == 0 {
-		return nil
+		return errs
+	}
+	call := func(i int) (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("experiments: task %d panicked: %v", i, p)
+			}
+		}()
+		return f(i)
 	}
 	if r.workers <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
-			if err := f(i); err != nil {
-				return err
-			}
+			errs[i] = call(i)
 		}
-		return nil
+		return errs
 	}
-	errs := make([]error, n)
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for i := 0; i < n; i++ {
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = f(i)
+			errs[i] = call(i)
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
+	return errs
+}
+
+// fanOut is the all-or-nothing form: every task runs (and drains), and the
+// lowest-index error is returned — deterministic regardless of completion
+// order. Callers that can render partial results use fanOutAll directly.
+func (r *Runner) fanOut(n int, f func(i int) error) error {
+	for _, err := range r.fanOutAll(n, f) {
 		if err != nil {
 			return err
 		}
@@ -150,9 +192,10 @@ func (r *Runner) fanOut(n int, f func(i int) error) error {
 	return nil
 }
 
-// forEachLayer fans one task per layer out on the pool.
-func (r *Runner) forEachLayer(layers []workload.Layer, f func(i int, l workload.Layer) error) error {
-	return r.fanOut(len(layers), func(i int) error { return f(i, layers[i]) })
+// forEachLayer fans one task per layer out on the pool, returning one
+// error slot per layer.
+func (r *Runner) forEachLayer(layers []workload.Layer, f func(i int, l workload.Layer) error) []error {
+	return r.fanOutAll(len(layers), func(i int) error { return f(i, layers[i]) })
 }
 
 // LayerKernel builds the forward tensor-core GEMM kernel for a layer.

@@ -22,6 +22,7 @@ package sim
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	duplo "duplo/internal/core"
 	"duplo/internal/trace"
@@ -97,6 +98,30 @@ type Config struct {
 	// gate); the knob trades wall-clock for cores, never output.
 	SMWorkers int
 
+	// --- Hardening: run bounds and diagnostics ---
+
+	// MaxCycles bounds the simulated clock: a run reaching this many cycles
+	// aborts with a *SimError (PhaseCycleLimit) instead of running on. 0
+	// selects the built-in runaway bound; negative is invalid.
+	MaxCycles int64
+	// WallTimeout bounds a run's wall-clock time: Run/RunContext derive a
+	// deadline context from it, and the loop returns a *SimError
+	// (PhaseDeadline) when it expires. 0 = no bound; negative is invalid.
+	WallTimeout time.Duration
+	// WatchdogWindow is the forward-progress watchdog's window in cycles:
+	// when no instruction issues and no ROB entry retires for this many
+	// consecutive cycles, the run aborts with a livelock diagnosis and a
+	// crash dump instead of spinning forever. 0 selects the default —
+	// max(DefaultWatchdogWindow, 8*RetireDelay), far above any legitimate
+	// no-progress gap (the longest is the RetireDelay between a load
+	// retiring and its LHB release) — and negative disables the watchdog.
+	// Small explicit windows are for fault-injection tests only: a window
+	// under ~8*RetireDelay can fire on a healthy but memory-bound run.
+	WatchdogWindow int64
+	// CrashDumpDir is the directory watchdog/panic crash dumps are written
+	// to ("" = os.TempDir()); see dump.go for the format.
+	CrashDumpDir string
+
 	// Duplo enables the detection unit; DetectCfg configures it.
 	Duplo     bool
 	DetectCfg duplo.DetectionUnitConfig
@@ -164,8 +189,47 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: LDST queue depth must be positive")
 	case c.SMWorkers < 0:
 		return fmt.Errorf("sim: SMWorkers %d must be >= 0 (0 = GOMAXPROCS)", c.SMWorkers)
+	case c.MaxWarpsPerSM <= 0:
+		return fmt.Errorf("sim: MaxWarpsPerSM must be positive")
+	case c.RetireDelay < 0:
+		return fmt.Errorf("sim: RetireDelay %d must be >= 0", c.RetireDelay)
+	case c.MaxCycles < 0:
+		return fmt.Errorf("sim: MaxCycles %d must be >= 0 (0 = built-in bound)", c.MaxCycles)
+	case c.WallTimeout < 0:
+		return fmt.Errorf("sim: WallTimeout %v must be >= 0 (0 = none)", c.WallTimeout)
 	}
 	return nil
+}
+
+// DefaultWatchdogWindow is the floor of the resolved forward-progress
+// window when Config.WatchdogWindow is 0 (~1M cycles: two orders of
+// magnitude above the longest legitimate no-progress gap, the RetireDelay
+// release lag).
+const DefaultWatchdogWindow = int64(1) << 20
+
+// watchdogWindow resolves Config.WatchdogWindow: 0 selects
+// max(DefaultWatchdogWindow, 8*RetireDelay); negative disables (returns 0).
+func (c Config) watchdogWindow() int64 {
+	w := c.WatchdogWindow
+	if w == 0 {
+		w = DefaultWatchdogWindow
+		if rd := 8 * int64(c.RetireDelay); rd > w {
+			w = rd
+		}
+	}
+	if w < 0 {
+		return 0
+	}
+	return w
+}
+
+// maxCycles resolves Config.MaxCycles: 0 selects the built-in runaway
+// bound.
+func (c Config) maxCycles() int64 {
+	if c.MaxCycles > 0 {
+		return c.MaxCycles
+	}
+	return maxSimCycles
 }
 
 // smWorkers resolves Config.SMWorkers to the effective shard count for one

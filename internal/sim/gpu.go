@@ -1,7 +1,10 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 
 	duplo "duplo/internal/core"
 	"duplo/internal/trace"
@@ -37,6 +40,119 @@ type gpuState struct {
 	totalCTAs int
 	launchSeq int64
 	ctasPerSM int
+
+	// guard is the hardening state of this run: cancellation, cycle/wall
+	// bounds, and the forward-progress watchdog.
+	guard runGuard
+	// progress counts ROB pops (retire.go bumps it once per retired
+	// instruction). Retirement runs serially in both loop modes — the
+	// serial tick and the sharded pre-phase both execute on the dispatcher
+	// goroutine — so the counter needs no synchronization.
+	progress int64
+	// now mirrors the loop's current cycle so crash dumps written from a
+	// panic recovery know where the clock stood.
+	now int64
+}
+
+// runGuard bundles the per-run hardening state consulted once per loop
+// iteration (checkGuard).
+type runGuard struct {
+	ctx       context.Context
+	done      <-chan struct{} // ctx.Done(), nil when the context can't cancel
+	maxCycles int64
+	window    int64 // watchdog window in cycles; 0 = disabled
+	ticks     int64 // loop iterations, for the masked cancellation poll
+
+	lastProgress   int64 // g.progress at the last observed progress
+	lastProgressAt int64 // cycle of the last observed progress
+}
+
+// cancelPollMask: cancellation is polled every 1024 loop iterations — a
+// single masked branch per tick, bounded staleness either way (ticks are
+// the unit of forward motion on both the dense and the event-driven
+// clock).
+const cancelPollMask = 1<<10 - 1
+
+// checkGuard runs the per-iteration guards after the tick at `now`:
+// cancellation/deadline, the cycle bound, and the forward-progress
+// watchdog. issued is the chip-wide issue count of the tick; retirement
+// progress is read from g.progress. Returns the *SimError to abort with,
+// or nil.
+func (g *gpuState) checkGuard(now int64, issued int) error {
+	gd := &g.guard
+	gd.ticks++
+	if gd.done != nil && gd.ticks&cancelPollMask == 0 {
+		select {
+		case <-gd.done:
+			return g.cancelError(now)
+		default:
+		}
+	}
+	if now > gd.maxCycles {
+		return &SimError{
+			Phase: PhaseCycleLimit, Cycle: now,
+			Reason: fmt.Sprintf("exceeded %d simulated cycles", gd.maxCycles),
+		}
+	}
+	if issued > 0 || g.progress != gd.lastProgress {
+		gd.lastProgress = g.progress
+		gd.lastProgressAt = now
+	} else if gd.window > 0 && now-gd.lastProgressAt >= gd.window {
+		return g.watchdogFire(now)
+	}
+	return nil
+}
+
+// cancelError converts the guard context's error into a *SimError,
+// distinguishing deadline expiry from cancellation.
+func (g *gpuState) cancelError(now int64) error {
+	err := g.guard.ctx.Err()
+	phase, reason := PhaseCancelled, "run cancelled"
+	if errors.Is(err, context.DeadlineExceeded) {
+		phase, reason = PhaseDeadline, "wall-clock deadline exceeded"
+	}
+	return &SimError{Phase: phase, Cycle: now, Reason: reason, Err: err}
+}
+
+// watchdogFire builds the livelock diagnosis and writes the crash dump.
+func (g *gpuState) watchdogFire(now int64) error {
+	se := &SimError{
+		Phase: PhaseWatchdog, Cycle: now,
+		Reason: fmt.Sprintf(
+			"no forward progress for %d cycles (livelock?): no instruction issued and no ROB entry retired since cycle %d",
+			g.guard.window, g.guard.lastProgressAt),
+	}
+	g.attachDump(se)
+	return se
+}
+
+// attachDump writes the crash dump for se and records its path (best
+// effort: a dump-write failure is folded into the reason, never masks the
+// original error).
+func (g *gpuState) attachDump(se *SimError) {
+	dump, err := writeCrashDump(g, se)
+	if err != nil {
+		se.Reason += "; crash dump failed: " + err.Error()
+		return
+	}
+	se.Dump = dump
+}
+
+// containPanic converts a recovered panic value into a *SimError with a
+// crash dump. A *SimError panic value — the structured program-decode
+// error warpProgram.At raises — passes through with its phase intact.
+func (g *gpuState) containPanic(r any, stack []byte) error {
+	se, ok := r.(*SimError)
+	if !ok {
+		se = &SimError{Phase: PhasePanic, Reason: fmt.Sprintf("panic: %v", r)}
+		if err, isErr := r.(error); isErr {
+			se.Err = err
+		}
+	}
+	se.Cycle = g.now
+	se.stack = stack
+	g.attachDump(se)
+	return se
 }
 
 // ctaDone is called by an SM when a resident CTA finishes; the dispatcher
@@ -94,9 +210,40 @@ const maxSimCycles = int64(4) << 30
 // Result — and any attached trace, event for event — stays byte-identical
 // to the single-goroutine reference loop (asserted by the differential
 // matrix in parallel_sm_test.go; see DESIGN.md §3 "SM sharding").
+//
+// Hardening: Run is RunContext with a background context; both are
+// bounded (Config.MaxCycles, Config.WallTimeout), interruptible, watched
+// for forward progress (Config.WatchdogWindow), and contain panics from
+// the cycle loop — failures come back as a *SimError, with a crash dump
+// on watchdog fires and contained panics (DESIGN.md §5 "Robustness").
+// The hardening is strictly observational: a healthy run's Result is
+// byte-identical with or without a cancellable context.
 func Run(cfg Config, k *Kernel) (Result, error) {
+	return RunContext(context.Background(), cfg, k)
+}
+
+// testFaultInjection, when non-nil, is invoked on the fully-built gpuState
+// after initial dispatch and before the cycle loop — the seam
+// harden_test.go uses to inject livelocks and panics. It is nil outside
+// tests and is not synchronized: a test that sets it owns every Run in
+// flight.
+var testFaultInjection func(*gpuState)
+
+// RunContext is Run with cancellation: the cycle loop polls ctx cheaply
+// (every cancelPollMask+1 ticks) and returns a *SimError (PhaseCancelled
+// or PhaseDeadline) when it fires. cfg.WallTimeout, when set, is applied
+// as a deadline on top of ctx.
+func RunContext(ctx context.Context, cfg Config, k *Kernel) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.WallTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.WallTimeout)
+		defer cancel()
 	}
 	var merged Stats
 	mem := newMemSystem(cfg, &merged)
@@ -131,14 +278,21 @@ func Run(cfg Config, k *Kernel) (Result, error) {
 	for _, sm := range g.sms {
 		g.dispatchTo(sm)
 	}
-
-	var now int64
-	var err error
-	if workers := cfg.smWorkers(); workers > 1 {
-		now, err = g.runShardedLoop(workers)
-	} else {
-		now, err = g.runSerialLoop()
+	g.guard = runGuard{ctx: ctx, done: ctx.Done(), maxCycles: cfg.maxCycles(), window: cfg.watchdogWindow()}
+	if hook := testFaultInjection; hook != nil {
+		hook(g)
 	}
+	if g.guard.done != nil {
+		// Fail fast when the context is already dead (a cancelled sweep
+		// spawning follow-up runs should not simulate 1024 ticks each).
+		select {
+		case <-g.guard.done:
+			return Result{}, g.cancelError(0)
+		default:
+		}
+	}
+
+	now, err := g.runLoops()
 	if err != nil {
 		return Result{}, err
 	}
@@ -161,6 +315,24 @@ func Run(cfg Config, k *Kernel) (Result, error) {
 	}, nil
 }
 
+// runLoops dispatches to the configured cycle loop behind one panic
+// barrier: any panic on the dispatcher goroutine — the serial loop, the
+// sharded pre-phase/commit, or shard 0 running inline — is contained into
+// a *SimError with a crash dump. Spawned shard goroutines recover locally
+// into their shardState (shard.go) and the dispatcher converts those the
+// same way.
+func (g *gpuState) runLoops() (now int64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = g.containPanic(r, debug.Stack())
+		}
+	}()
+	if workers := g.cfg.smWorkers(); workers > 1 {
+		return g.runShardedLoop(workers)
+	}
+	return g.runSerialLoop()
+}
+
 // runSerialLoop is the single-goroutine reference cycle loop
 // (Config.SMWorkers <= 1 after resolution); runShardedLoop (shard.go) must
 // stay byte-identical to it.
@@ -168,6 +340,7 @@ func (g *gpuState) runSerialLoop() (int64, error) {
 	var now int64
 	blocked := make([]int, len(g.sms)) // per-SM ldst-blocked schedulers this tick
 	for {
+		g.now = now
 		busy := false
 		issued := 0
 		for i, sm := range g.sms {
@@ -191,8 +364,8 @@ func (g *gpuState) runSerialLoop() (int64, error) {
 			now = g.accountSkip(now, wake, blocked)
 		}
 		now++
-		if now > maxSimCycles {
-			return 0, fmt.Errorf("sim: exceeded %d cycles (deadlock?)", maxSimCycles)
+		if err := g.checkGuard(now, issued); err != nil {
+			return 0, err
 		}
 	}
 	return now, nil

@@ -1,5 +1,7 @@
 package sim
 
+import "fmt"
+
 // Op is the warp-level instruction kind of the tensor-core GEMM kernel.
 type Op uint8
 
@@ -114,10 +116,16 @@ func (p *warpProgram) regB(b, c int) uint8 { return uint8(2*p.rt + b*2 + c) }
 // regAcc returns the accumulator group of tile (a, b).
 func (p *warpProgram) regAcc(a, b int) uint8 { return uint8(2*p.rt + 2*p.ct + a*p.ct + b) }
 
-// At decodes instruction i.
+// At decodes instruction i. An out-of-range index is an internal
+// consistency failure (a corrupted pc); it panics with a structured
+// *SimError that the run loop's containment (gpu.go/shard.go) converts
+// into an error with a crash dump instead of killing the process.
 func (p *warpProgram) At(i int) Instr {
 	if i < 0 || i >= p.total {
-		panic("sim: warp program index out of range")
+		panic(&SimError{
+			Phase:  PhaseProgram,
+			Reason: fmt.Sprintf("warp program index %d out of range [0,%d)", i, p.total),
+		})
 	}
 	k := p.k
 	if i < p.ktiles*p.blockLn {

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bytes"
+	"context"
 	"runtime"
 	"sync"
 	"testing"
@@ -42,6 +43,20 @@ func diffWorkers(t *testing.T, name string, cfg Config, k *Kernel, workers int) 
 	if se.SimulatedCTAs != pa.SimulatedCTAs || se.TotalCTAs != pa.TotalCTAs {
 		t.Errorf("%s: CTA counts diverged: %d/%d vs %d/%d",
 			name, se.SimulatedCTAs, se.TotalCTAs, pa.SimulatedCTAs, pa.TotalCTAs)
+	}
+	// Hardened twin: a cancellable context with every guard armed at its
+	// default must not perturb a healthy run — the hardening contract is
+	// strictly observational (DESIGN.md §5).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	hardCfg := parallelCfg
+	hardCfg.WatchdogWindow = DefaultWatchdogWindow
+	ha, err := RunContext(ctx, hardCfg, k)
+	if err != nil {
+		t.Fatalf("%s hardened: %v", name, err)
+	}
+	if ha.Stats != pa.Stats {
+		t.Errorf("%s: hardened run diverged\nplain:    %+v\nhardened: %+v", name, pa.Stats, ha.Stats)
 	}
 }
 

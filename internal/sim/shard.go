@@ -1,8 +1,8 @@
 package sim
 
 import (
-	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	duplo "duplo/internal/core"
@@ -279,7 +279,11 @@ func (sm *smState) commitStaged(now int64) {
 // so adjacent shards' results do not false-share a cache line.
 type shardState struct {
 	issued int
-	_      [56]byte
+	// panicked/stack hold a recovered phase-A panic until the dispatcher
+	// converts it after the barrier (shardSafe).
+	panicked any
+	stack    []byte
+	_        [16]byte
 }
 
 // shardPhaseA runs phase A for one contiguous shard of SMs: tickStaged per
@@ -296,6 +300,22 @@ func (g *gpuState) shardPhaseA(sms []*smState, st *shardState, blocked []int, no
 		blocked[sm.id] = blk
 	}
 	st.issued = issued
+}
+
+// shardSafe is shardPhaseA behind a panic barrier: a panic anywhere in a
+// shard's tick is captured into its shardState instead of crashing the
+// worker goroutine (or, for shard 0 and the inline path, unwinding the
+// dispatcher mid-tick); the dispatcher converts it into a *SimError right
+// after the barrier, when every shard is quiescent and the state is safe
+// to dump.
+func (g *gpuState) shardSafe(sms []*smState, st *shardState, blocked []int, now int64) {
+	defer func() {
+		if r := recover(); r != nil {
+			st.panicked = r
+			st.stack = debug.Stack()
+		}
+	}()
+	g.shardPhaseA(sms, st, blocked, now)
 }
 
 // runShardedLoop is the parallel cycle loop (Config.SMWorkers > 1): the
@@ -333,7 +353,7 @@ func (g *gpuState) runShardedLoop(workers int) (int64, error) {
 			ticks[i] = ch
 			go func(sms []*smState, st *shardState, ch chan int64) {
 				for now := range ch {
-					g.shardPhaseA(sms, st, blocked, now)
+					g.shardSafe(sms, st, blocked, now)
 					wg.Done()
 				}
 			}(shards[i], &states[i], ch)
@@ -357,6 +377,7 @@ func (g *gpuState) runShardedLoop(workers int) (int64, error) {
 	tracing := g.cfg.Tracer != nil
 	var now, stagedAt int64
 	for {
+		g.now = now
 		// Serial pre-phase, in ascending SM order (the order the serial
 		// loop interleaves the shared mutations in): committed staged ops
 		// of the previous tick, then retirement, CTA completion and
@@ -378,16 +399,24 @@ func (g *gpuState) runShardedLoop(workers int) (int64, error) {
 			for i := 1; i < len(shards); i++ {
 				ticks[i] <- now
 			}
-			g.shardPhaseA(shards[0], &states[0], blocked, now)
+			g.shardSafe(shards[0], &states[0], blocked, now)
 			wg.Wait()
 		} else {
 			for i := range shards {
-				g.shardPhaseA(shards[i], &states[i], blocked, now)
+				g.shardSafe(shards[i], &states[i], blocked, now)
 			}
 		}
 		issued := 0
 		for i := range states {
 			issued += states[i].issued
+		}
+		// Contain shard panics after the barrier, lowest shard first
+		// (deterministic when several shards fail the same tick). Every
+		// goroutine is quiescent here, so the dump reads a stable state.
+		for i := range states {
+			if p := states[i].panicked; p != nil {
+				return 0, g.containPanic(p, states[i].stack)
+			}
 		}
 		if tracing {
 			// Eager phase B: canonical-order service of the staged ops,
@@ -416,8 +445,8 @@ func (g *gpuState) runShardedLoop(workers int) (int64, error) {
 			now = g.accountSkip(now, wake, blocked)
 		}
 		now++
-		if now > maxSimCycles {
-			return 0, fmt.Errorf("sim: exceeded %d cycles (deadlock?)", maxSimCycles)
+		if err := g.checkGuard(now, issued); err != nil {
+			return 0, err
 		}
 	}
 	return now, nil

@@ -263,6 +263,12 @@ func (sm *smState) retire(now int64) {
 				sm.lhbRelease = append(sm.lhbRelease, lhbReleaseEvt{at: now + delay, seqLo: e.seqLo, seqHi: e.seqHi})
 			}
 			w.robHead++
+			// Forward-progress heartbeat for the watchdog: a ROB pop covers
+			// both instruction retirement and memory-request completion (a
+			// completed request pops when it reaches the head). Retirement
+			// runs serially in both loop modes, so the bare counter is
+			// race-free.
+			sm.gpu.progress++
 		}
 		if w.robHead > 0 && w.robEmpty() {
 			w.rob = w.rob[:0]

@@ -1,6 +1,10 @@
 package sim
 
-import duplo "duplo/internal/core"
+import (
+	"fmt"
+
+	duplo "duplo/internal/core"
+)
 
 // ServiceLevel identifies which component of the memory hierarchy supplied a
 // load's data — the Fig. 11 breakdown.
@@ -96,6 +100,18 @@ func (s *Stats) Add(o Stats) {
 	s.LHB.Relays += o.LHB.Relays
 	s.RenameCount += o.RenameCount
 	s.AllocCount += o.AllocCount
+}
+
+// DumpSummary renders the counters as one bounded key=value line for
+// crash dumps (dump.go) — a per-SM progress snapshot, not an export
+// format.
+func (s Stats) DumpSummary() string {
+	return fmt.Sprintf(
+		"instr=%d tcloads=%d elim=%d mmas=%d stores=%d issueStall=%d ldstStall=%d l1=%d/%d l2=%d/%d dram=%d mshrMerge=%d lhb=%d/%d",
+		s.Instructions, s.TensorLoads, s.LoadsEliminated, s.MMAs, s.Stores,
+		s.IssueStallCycles, s.LDSTStallCycles,
+		s.L1Hits, s.L1Accesses, s.L2Hits, s.L2Accesses,
+		s.DRAMLines, s.MSHRMerges, s.LHB.Hits, s.LHB.Lookups)
 }
 
 // LHBHitRate is the aggregate LHB hit rate (Fig. 10).

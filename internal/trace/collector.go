@@ -287,6 +287,35 @@ func (c *Collector) Events(sm int) []Event {
 	return out
 }
 
+// TailEvents returns the last n captured events of SM sm (chronological,
+// oldest of the tail first) — what a crash dump wants: the ring's most
+// recent activity without copying the whole buffer. The slice is a copy.
+func (c *Collector) TailEvents(sm, n int) []Event {
+	c.mu.RLock()
+	if sm < 0 || sm >= len(c.shards) || n <= 0 {
+		c.mu.RUnlock()
+		return nil
+	}
+	s := c.shards[sm]
+	c.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := len(s.ring)
+	if n > total {
+		n = total
+	}
+	// Chronological order is ring[head:] then ring[:head] (head is both
+	// the oldest retained event and the next overwrite position once the
+	// ring is full; 0 while it is still filling). The tail is the last n
+	// of that sequence.
+	out := make([]Event, 0, n)
+	if n <= s.head {
+		return append(out, s.ring[s.head-n:s.head]...)
+	}
+	out = append(out, s.ring[total-(n-s.head):]...)
+	return append(out, s.ring[:s.head]...)
+}
+
 // Intervals returns the merged (all-SM) time series as contiguous
 // intervals from cycle 0 through the end of the run. Empty intervals are
 // materialized with zero counters so consumers see a gap-free series.
