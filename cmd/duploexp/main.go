@@ -9,11 +9,18 @@
 //	duploexp -exp fig9 -workers 8     # bound the simulation worker pool
 //	duploexp -exp fig9 -cpuprofile cpu.pprof
 //	duploexp -exp table2
+//	duploexp -exp all -store ~/.cache/duplo    # warm-start across invocations
 //
 // Independent simulations run on a worker pool (default GOMAXPROCS wide;
 // -workers 1 forces the serial path). Tables are byte-identical at any
 // worker count. -cpuprofile / -memprofile write pprof profiles of the
 // whole run for performance work on the engine.
+//
+// -store DIR backs the run cache with the on-disk content-addressed
+// result store (internal/store, DESIGN.md §8): results persist across
+// invocations, so re-rendering a table whose cells are already stored
+// simulates nothing and is byte-identical to the cold run. The same
+// directory can back a duploserved daemon.
 //
 // -trace-cell "Net/Layer" re-simulates one cell at the same scale with the
 // event tracer attached and writes a Perfetto timeline (-trace) and/or an
@@ -48,7 +55,7 @@ import (
 
 	"duplo/internal/experiments"
 	"duplo/internal/profiling"
-	"duplo/internal/report"
+	"duplo/internal/store"
 	"duplo/internal/workload"
 )
 
@@ -71,6 +78,7 @@ var (
 	timeout    = flag.Duration("timeout", 0, "wall-clock deadline for the whole invocation (0 = none); partial tables are flushed")
 	maxCycles  = flag.Int64("max-cycles", 0, "abort any single simulation past this many cycles (0 = simulator default)")
 	crashDir   = flag.String("crash-dir", "", "directory for watchdog/panic crash dumps (default: system temp dir)")
+	storeDir   = flag.String("store", "", "directory of the on-disk result store (warm-starts identical runs; created if missing)")
 )
 
 // errUnknownExperiment preserves the historical exit code 2 for a bad -exp.
@@ -114,46 +122,25 @@ func run(ctx context.Context) error {
 	if *verbose {
 		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
 	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			return err
+		}
+		opts.Store = st
+	}
 	r := experiments.NewRunner(opts)
-
-	type entry struct {
-		id  string
-		run func() (*report.Table, error)
-	}
-	wrap := func(t *report.Table) func() (*report.Table, error) {
-		return func() (*report.Table, error) { return t, nil }
-	}
-	all := []entry{
-		{"table1", wrap(experiments.Table1())},
-		{"table3", wrap(experiments.Table3())},
-		{"table2", experiments.Table2},
-		{"fig2", wrap(experiments.Fig2())},
-		{"limits", wrap(experiments.Limits())},
-		{"fig3", wrap(experiments.Fig3())},
-		{"fig9", r.Fig9},
-		{"fig10", r.Fig10},
-		{"fig11", r.Fig11},
-		{"fig12", r.Fig12},
-		{"fig13", r.Fig13},
-		{"fig14", r.Fig14},
-		{"energy", r.EnergyArea},
-		{"latency", r.AblationLatency},
-		{"smem", r.AblationSharedMem},
-		{"cache", r.AblationCacheScaling},
-		{"evict", r.AblationEviction},
-		{"index", r.AblationIndexing},
-	}
 
 	var failed []string
 	if *exp != "none" {
 		found := false
-		for _, e := range all {
-			if *exp != "all" && *exp != e.id {
+		for _, e := range r.Sweeps() {
+			if *exp != "all" && *exp != e.ID {
 				continue
 			}
 			found = true
 			t0 := time.Now()
-			tbl, err := e.run()
+			tbl, err := e.Run()
 			// A partial table (ERR cells) comes back alongside the error;
 			// flush it before recording the failure and moving on.
 			if tbl != nil {
@@ -164,11 +151,11 @@ func run(ctx context.Context) error {
 				}
 			}
 			if err != nil {
-				failed = append(failed, e.id)
-				fmt.Fprintf(os.Stderr, "duploexp: %s: %v\n", e.id, err)
+				failed = append(failed, e.ID)
+				fmt.Fprintf(os.Stderr, "duploexp: %s: %v\n", e.ID, err)
 			}
 			if *verbose {
-				fmt.Fprintf(os.Stderr, "[%s took %v]\n", e.id, time.Since(t0).Round(time.Millisecond))
+				fmt.Fprintf(os.Stderr, "[%s took %v]\n", e.ID, time.Since(t0).Round(time.Millisecond))
 			}
 			fmt.Println()
 			if ctx.Err() != nil {
@@ -183,6 +170,11 @@ func run(ctx context.Context) error {
 	if err := traceCellRun(r); err != nil {
 		failed = append(failed, "trace-cell")
 		fmt.Fprintf(os.Stderr, "duploexp: trace-cell: %v\n", err)
+	}
+	if st := r.Store(); st != nil && *verbose {
+		c := st.Counters()
+		fmt.Fprintf(os.Stderr, "[store %s: %d hits, %d misses, %d written]\n",
+			st.Dir(), c.Hits, c.Misses, c.Puts)
 	}
 	if len(failed) > 0 {
 		return fmt.Errorf("%d of the requested experiments failed: %s", len(failed), strings.Join(failed, ", "))

@@ -1,0 +1,119 @@
+// Command duploserved serves simulations over HTTP: submit jobs, stream
+// whole-figure sweeps, and share one warm content-addressed result store
+// across any number of clients (internal/server, DESIGN.md §8).
+//
+// Usage:
+//
+//	duploserved -addr 127.0.0.1:8080 -store ~/.cache/duplo
+//	duploserved -addr 127.0.0.1:0               # pick a free port (printed)
+//	duploserved -ctas 192 -sms 8 -workers 16    # scale the cell size / pool
+//
+// API (JSON; errors are typed problem documents):
+//
+//	curl -X POST localhost:8080/v1/runs -d '{"network":"ResNet","layer":"C2","duplo":true}'
+//	curl localhost:8080/v1/runs/r000001
+//	curl -X DELETE localhost:8080/v1/runs/r000001   # cancel
+//	curl localhost:8080/v1/sweeps/fig9              # NDJSON progress stream
+//	curl localhost:8080/healthz
+//	curl localhost:8080/statsz
+//
+// -max-cycles and -wall-timeout set the default per-job budgets (each job
+// may tighten its own via max_cycles / wall_timeout_ms). Ctrl-C/SIGTERM
+// drains: in-flight jobs are cancelled (clients see the typed
+// "cancelled" error) and open connections get a grace period to finish.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"duplo/internal/experiments"
+	"duplo/internal/server"
+	"duplo/internal/store"
+)
+
+var (
+	addr        = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port; the bound address is printed)")
+	storeDir    = flag.String("store", "", "directory of the on-disk result store (strongly recommended; created if missing)")
+	ctas        = flag.Int("ctas", 96, "max CTAs simulated per kernel")
+	simSMs      = flag.Int("sms", 4, "number of SMs simulated")
+	workers     = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	smWorkers   = flag.Int("sm-workers", 0, "goroutines sharding the SMs inside each simulation (0 = serial reference loop)")
+	maxCycles   = flag.Int64("max-cycles", 0, "default per-job simulated-cycle budget (0 = simulator default)")
+	wallTimeout = flag.Duration("wall-timeout", 0, "default per-job wall-clock budget (0 = none)")
+	crashDir    = flag.String("crash-dir", "", "directory for watchdog/panic crash dumps (default: system temp dir)")
+	gracePeriod = flag.Duration("grace", 5*time.Second, "shutdown grace period for open connections")
+	verbose     = flag.Bool("v", false, "log job progress to stderr")
+)
+
+func main() {
+	flag.Parse()
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if err := run(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "duploserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context) error {
+	opts := experiments.Options{
+		MaxCTAs: *ctas, SimSMs: *simSMs, Workers: *workers, SMWorkers: *smWorkers,
+		MaxCycles: *maxCycles, WallTimeout: *wallTimeout, CrashDumpDir: *crashDir,
+		Context: ctx,
+	}
+	if *verbose {
+		opts.Verbose = true
+		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
+	}
+	cfg := server.Config{Options: opts}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			return err
+		}
+		cfg.Store = st
+	} else {
+		fmt.Fprintln(os.Stderr, "duploserved: no -store: results die with the process")
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The bound address goes to stdout so scripts (and the CI smoke) can
+	// use -addr host:0 and parse the actual port.
+	fmt.Printf("duploserved listening on %s\n", ln.Addr())
+
+	srv := &http.Server{
+		Handler:     server.New(cfg).Handler(),
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "duploserved: shutting down (in-flight jobs cancelled)")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *gracePeriod)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		srv.Close()
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -44,6 +44,7 @@ import (
 	"duplo/internal/experiments"
 	"duplo/internal/profiling"
 	"duplo/internal/sim"
+	"duplo/internal/store"
 	"duplo/internal/trace"
 	"duplo/internal/workload"
 )
@@ -69,6 +70,7 @@ var (
 	timeout    = flag.Duration("timeout", 0, "abort either simulation past this much wall-clock time (0 = none)")
 	maxCycles  = flag.Int64("max-cycles", 0, "abort either simulation past this many cycles (0 = simulator default)")
 	crashDir   = flag.String("crash-dir", "", "directory for watchdog/panic crash dumps (default: system temp dir)")
+	storeDir   = flag.String("store", "", "directory of the on-disk result store (warm-starts identical runs; created if missing)")
 )
 
 func main() {
@@ -134,8 +136,18 @@ func run(ctx context.Context) error {
 	}
 
 	// Both runs go through the experiments runner: with -workers > 1 the
-	// baseline and Duplo simulations execute concurrently.
-	r := experiments.NewRunner(experiments.Options{MaxCTAs: *ctas, SimSMs: *simSMs, Workers: *workers, SMWorkers: *smWorkers, Context: ctx})
+	// baseline and Duplo simulations execute concurrently, and -store
+	// warm-starts them from the on-disk result store (a traced run always
+	// executes — the collector must observe a real execution).
+	ropts := experiments.Options{MaxCTAs: *ctas, SimSMs: *simSMs, Workers: *workers, SMWorkers: *smWorkers, Context: ctx}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			return err
+		}
+		ropts.Store = st
+	}
+	r := experiments.NewRunner(ropts)
 	var base, dup sim.Result
 	var baseErr, dupErr error
 	var wg sync.WaitGroup

@@ -16,6 +16,7 @@ import (
 
 	duplo "duplo/internal/core"
 	"duplo/internal/sim"
+	"duplo/internal/store"
 	"duplo/internal/workload"
 )
 
@@ -55,6 +56,15 @@ type Options struct {
 	// CrashDumpDir receives watchdog/panic crash dumps
 	// (sim.Config.CrashDumpDir; "" = os.TempDir()).
 	CrashDumpDir string
+	// Store, when non-nil, backs the in-memory singleflight cache with the
+	// on-disk content-addressed result store: a memoization miss consults
+	// the store before simulating, and every successful simulation is
+	// persisted, so sweeps warm-start across invocations (and across the
+	// clients of a duploserved daemon sharing one directory). Failed runs
+	// are never persisted — the failed-run eviction semantics extend to
+	// the disk tier — and traced runs bypass the store entirely, because a
+	// collector must observe an actual execution.
+	Store *store.Store
 }
 
 // DefaultOptions returns the standard experiment scale.
@@ -73,6 +83,11 @@ func (o Options) layers() []workload.Layer {
 	}
 	return workload.AllLayers()
 }
+
+// Config resolves the options into the sim.Config experiments run under
+// (exported for duploserved, which builds per-request configs from the
+// daemon's base options).
+func (o Options) Config() sim.Config { return o.config() }
 
 func (o Options) config() sim.Config {
 	cfg := sim.TitanVConfig()

@@ -11,6 +11,7 @@ import (
 	duplo "duplo/internal/core"
 	"duplo/internal/report"
 	"duplo/internal/sim"
+	"duplo/internal/store"
 	"duplo/internal/trace"
 	"duplo/internal/workload"
 )
@@ -35,10 +36,16 @@ type Runner struct {
 	// robustness tests override to inject deterministic per-cell failures.
 	simFn func(context.Context, sim.Config, *sim.Kernel) (sim.Result, error)
 
+	// store is the optional on-disk second cache tier (Options.Store): a
+	// memoization miss consults it before simulating, and successful runs
+	// are persisted through it. nil = memory-only, the pre-store behavior.
+	store *store.Store
+
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
 
-	execs atomic.Int64 // simulations actually executed (cache misses)
+	execs     atomic.Int64 // simulations actually executed (both tiers missed)
+	storeHits atomic.Int64 // runs served from the disk tier
 }
 
 // cacheEntry is one singleflight slot: done closes when res/err are final.
@@ -74,6 +81,7 @@ func NewRunner(opts Options) *Runner {
 		sink:    sink,
 		ctx:     ctx,
 		simFn:   sim.RunContext,
+		store:   opts.Store,
 		cache:   make(map[string]*cacheEntry),
 	}
 }
@@ -81,9 +89,17 @@ func NewRunner(opts Options) *Runner {
 // Workers returns the pool size.
 func (r *Runner) Workers() int { return r.workers }
 
-// Execs returns how many simulations actually ran (cache misses); cache
-// hits and coalesced concurrent requests do not count.
+// Execs returns how many simulations actually ran (misses in both cache
+// tiers); memory hits, disk-store hits and coalesced concurrent requests
+// do not count.
 func (r *Runner) Execs() int64 { return r.execs.Load() }
+
+// StoreHits returns how many runs were served from the disk tier instead
+// of simulating (0 when no store is configured).
+func (r *Runner) StoreHits() int64 { return r.storeHits.Load() }
+
+// Store returns the disk tier, nil when the runner is memory-only.
+func (r *Runner) Store() *store.Store { return r.store }
 
 // progress emits one formatted progress line through the concurrency-safe
 // sink (no-op unless Options.Verbose).
@@ -112,6 +128,20 @@ func (r *Runner) key(kernelName string, cfg sim.Config) string {
 // a later request retries instead of being served a poisoned key for the
 // process lifetime.
 func (r *Runner) Run(k *sim.Kernel, cfg sim.Config) (sim.Result, error) {
+	return r.RunCtx(r.ctx, k, cfg)
+}
+
+// RunCtx is Run with an explicit context governing this request's
+// execution: when this request ends up being the one that simulates, ctx
+// (not the runner-wide context) cancels it. Coalesced waiters share the
+// executing request's fate — a cancelled executor propagates its error to
+// the waiters, and the eviction semantics mean their retry re-simulates.
+// duploserved uses this for per-job cancellation on a shared runner; a nil
+// ctx selects the runner-wide context.
+func (r *Runner) RunCtx(ctx context.Context, k *sim.Kernel, cfg sim.Config) (sim.Result, error) {
+	if ctx == nil {
+		ctx = r.ctx
+	}
 	key := r.key(k.Name, cfg)
 	r.mu.Lock()
 	if e, ok := r.cache[key]; ok {
@@ -123,19 +153,43 @@ func (r *Runner) Run(k *sim.Kernel, cfg sim.Config) (sim.Result, error) {
 	r.cache[key] = e
 	r.mu.Unlock()
 
+	// Disk tier. Traced runs bypass it in both directions: a collector
+	// must observe an actual execution, and its result (byte-identical by
+	// the tracing contract) would be a redundant write. The lookup happens
+	// before a pool slot is taken — a store hit never occupies simulation
+	// capacity.
+	persist := r.store != nil && cfg.Tracer == nil
+	if persist {
+		if rec, ok := r.store.Get(key); ok {
+			r.storeHits.Add(1)
+			e.res = rec.Result(k, cfg)
+			close(e.done)
+			return e.res, nil
+		}
+	}
+
 	r.sem <- struct{}{}
 	r.execs.Add(1)
-	e.res, e.err = r.simFn(r.ctx, cfg, k)
+	e.res, e.err = r.simFn(ctx, cfg, k)
 	<-r.sem
 	if e.err != nil {
 		// Evict before closing done: once waiters wake, the failed key
 		// must already be gone. Guard on identity — a retry may have
-		// installed a fresh entry in the window.
+		// installed a fresh entry in the window. Nothing is persisted, so
+		// the disk tier inherits the same semantics: a failed run can
+		// never be served from the store.
 		r.mu.Lock()
 		if r.cache[key] == e {
 			delete(r.cache, key)
 		}
 		r.mu.Unlock()
+	} else if persist {
+		// Best-effort: a full disk must not fail the sweep. The error is
+		// surfaced on the progress sink and in the store's PutErrors
+		// counter (statsz).
+		if perr := r.store.Put(key, store.RecordOf(e.res)); perr != nil {
+			r.progress("store: persist %s: %v", k.Name, perr)
+		}
 	}
 	close(e.done)
 	return e.res, e.err

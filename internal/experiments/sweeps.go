@@ -1,0 +1,68 @@
+package experiments
+
+import "duplo/internal/report"
+
+// Sweep is one named experiment — a whole figure or table reproduction —
+// bound to a Runner. The registry below is the single index shared by
+// `duploexp -exp <id>` and duploserved's `GET /v1/sweeps/{id}`, so a new
+// experiment becomes servable by being added here once.
+type Sweep struct {
+	// ID is the CLI/URL name ("fig9", "table2", "energy", …).
+	ID string
+	// Sim reports whether running the sweep simulates (false for the
+	// static tables, which render from the paper's constants and the
+	// analytical models only).
+	Sim bool
+	// Run produces the table. On partial failure it still returns the
+	// table (failed cells render "ERR") alongside the error.
+	Run func() (*report.Table, error)
+}
+
+// Sweeps returns every experiment in the paper's presentation order,
+// bound to r.
+func (r *Runner) Sweeps() []Sweep {
+	static := func(build func() *report.Table) func() (*report.Table, error) {
+		return func() (*report.Table, error) { return build(), nil }
+	}
+	return []Sweep{
+		{"table1", false, static(Table1)},
+		{"table3", false, static(Table3)},
+		{"table2", false, Table2},
+		{"fig2", false, static(Fig2)},
+		{"limits", false, static(Limits)},
+		{"fig3", false, static(Fig3)},
+		{"fig9", true, r.Fig9},
+		{"fig10", true, r.Fig10},
+		{"fig11", true, r.Fig11},
+		{"fig12", true, r.Fig12},
+		{"fig13", true, r.Fig13},
+		{"fig14", true, r.Fig14},
+		{"energy", true, r.EnergyArea},
+		{"latency", true, r.AblationLatency},
+		{"smem", true, r.AblationSharedMem},
+		{"cache", true, r.AblationCacheScaling},
+		{"evict", true, r.AblationEviction},
+		{"index", true, r.AblationIndexing},
+	}
+}
+
+// Sweep looks one experiment up by id.
+func (r *Runner) Sweep(id string) (Sweep, bool) {
+	for _, s := range r.Sweeps() {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Sweep{}, false
+}
+
+// SweepIDs returns the registry's ids in order (for usage/doc strings and
+// the server's sweep listing).
+func (r *Runner) SweepIDs() []string {
+	sweeps := r.Sweeps()
+	ids := make([]string, len(sweeps))
+	for i, s := range sweeps {
+		ids[i] = s.ID
+	}
+	return ids
+}

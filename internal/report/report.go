@@ -75,6 +75,22 @@ func (t *Table) AddRow(cells ...interface{}) {
 // AddRowCells appends pre-formatted cells.
 func (t *Table) AddRowCells(cells []string) { t.rows = append(t.rows, cells) }
 
+// Headers returns a copy of the column headers (for structured exports —
+// duploserved streams tables as JSON rather than pre-rendered text).
+func (t *Table) Headers() []string {
+	return append([]string(nil), t.headers...)
+}
+
+// Rows returns a copy of the accumulated rows with their pre-formatted
+// cells, in insertion order.
+func (t *Table) Rows() [][]string {
+	rows := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		rows[i] = append([]string(nil), r...)
+	}
+	return rows
+}
+
 // Render writes the aligned table to w.
 func (t *Table) Render(w io.Writer) {
 	widths := make([]int, len(t.headers))

@@ -1,0 +1,218 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	duplo "duplo/internal/core"
+	"duplo/internal/experiments"
+	"duplo/internal/sim"
+	"duplo/internal/workload"
+)
+
+// RunRequest is the POST /v1/runs body: one cell of the evaluation —
+// a Table I layer under the daemon's base scale, baseline or Duplo, with
+// optional per-job budget overrides.
+type RunRequest struct {
+	Network string `json:"network"`
+	Layer   string `json:"layer"`
+	// Batch overrides the layer's Table I batch size (0 = keep it).
+	Batch int `json:"batch,omitempty"`
+
+	// Duplo enables the detection unit; the LHB fields refine it
+	// (defaults: the paper's 1024-entry direct-mapped design point).
+	Duplo      bool `json:"duplo"`
+	LHBEntries int  `json:"lhb_entries,omitempty"`
+	LHBWays    int  `json:"lhb_ways,omitempty"`
+	LHBOracle  bool `json:"lhb_oracle,omitempty"`
+
+	// Per-job budgets (0 = the daemon's defaults): the simulated-cycle
+	// bound and the wall-clock bound, both surfaced as typed problem
+	// errors when exceeded (sim.SimError phases cycle-limit/deadline).
+	MaxCycles     int64 `json:"max_cycles,omitempty"`
+	WallTimeoutMS int64 `json:"wall_timeout_ms,omitempty"`
+}
+
+// build resolves the request against the daemon's base options into the
+// kernel and config to simulate — the same construction duplosim and the
+// figure sweeps use, so a job's result is identical to the CLI's.
+func (rq RunRequest) build(opts experiments.Options) (*sim.Kernel, sim.Config, error) {
+	if rq.Batch < 0 {
+		return nil, sim.Config{}, fmt.Errorf("batch %d must be >= 0", rq.Batch)
+	}
+	if rq.MaxCycles < 0 || rq.WallTimeoutMS < 0 {
+		return nil, sim.Config{}, errors.New("budgets must be >= 0")
+	}
+	l, err := workload.Find(rq.Network, rq.Layer)
+	if err != nil {
+		return nil, sim.Config{}, err
+	}
+	if rq.Batch > 0 {
+		l.Params = l.Params.WithBatch(rq.Batch)
+	}
+	k, err := experiments.LayerKernel(l)
+	if err != nil {
+		return nil, sim.Config{}, err
+	}
+	if rq.Batch > 0 {
+		// Batch-overridden kernels get a distinct name, like Fig. 13's
+		// sweep, so they occupy their own cache/store slots.
+		k.Name = fmt.Sprintf("%s@b%d", l.FullName(), rq.Batch)
+	}
+	cfg := opts.Config()
+	if rq.Duplo {
+		cfg.Duplo = true
+		lhb := experiments.DefaultLHB
+		if rq.LHBEntries > 0 {
+			lhb.Entries = rq.LHBEntries
+		}
+		if rq.LHBWays > 0 {
+			lhb.Ways = rq.LHBWays
+		}
+		if rq.LHBOracle {
+			lhb = duplo.LHBConfig{Oracle: true}
+		}
+		cfg.DetectCfg.LHB = lhb
+	}
+	if rq.MaxCycles > 0 {
+		cfg.MaxCycles = rq.MaxCycles
+	}
+	if rq.WallTimeoutMS > 0 {
+		cfg.WallTimeout = time.Duration(rq.WallTimeoutMS) * time.Millisecond
+	}
+	return k, cfg, nil
+}
+
+// Job states.
+const (
+	jobRunning = "running"
+	jobDone    = "done"
+	jobFailed  = "failed"
+)
+
+// job is one submitted run: its request, its cancel handle, and — once
+// finished — its result or structured error.
+type job struct {
+	id     string
+	req    RunRequest
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu  sync.Mutex
+	res sim.Result
+	err error
+}
+
+// snapshot renders the job's externally visible state.
+func (j *job) snapshot() JobStatus {
+	js := JobStatus{ID: j.id, Status: jobRunning, Request: j.req}
+	select {
+	case <-j.done:
+	default:
+		return js
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		js.Status = jobFailed
+		js.Error = simProblem(j.err)
+		return js
+	}
+	js.Status = jobDone
+	js.Result = &RunResult{
+		Stats:         j.res.Stats,
+		SimulatedCTAs: j.res.SimulatedCTAs,
+		TotalCTAs:     j.res.TotalCTAs,
+	}
+	return js
+}
+
+// JobStatus is the GET /v1/runs/{id} body.
+type JobStatus struct {
+	ID      string     `json:"id"`
+	Status  string     `json:"status"` // running | done | failed
+	Request RunRequest `json:"request"`
+	Result  *RunResult `json:"result,omitempty"`
+	Error   *Problem   `json:"error,omitempty"`
+}
+
+// RunResult is the persisted-shape result: the full Stats block plus CTA
+// accounting (the same subset internal/store writes to disk).
+type RunResult struct {
+	Stats         sim.Stats `json:"stats"`
+	SimulatedCTAs int       `json:"simulated_ctas"`
+	TotalCTAs     int       `json:"total_ctas"`
+}
+
+// handleSubmit accepts a RunRequest, starts the job on the shared runner,
+// and returns 202 with the job id. Identical concurrent submissions
+// coalesce inside the runner onto one simulation.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var rq RunRequest
+	if err := dec.Decode(&rq); err != nil {
+		writeProblem(w, http.StatusBadRequest, "malformed run request", err.Error())
+		return
+	}
+	k, cfg, err := rq.build(s.opts)
+	if err != nil {
+		writeProblem(w, http.StatusBadRequest, "invalid run request", err.Error())
+		return
+	}
+
+	jctx, cancel := context.WithCancel(s.ctx)
+	j := &job{req: rq, cancel: cancel, done: make(chan struct{})}
+	s.mu.Lock()
+	s.seq++
+	j.id = fmt.Sprintf("r%06d", s.seq)
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+
+	go func() {
+		defer cancel()
+		res, err := s.runner.RunCtx(jctx, k, cfg)
+		j.mu.Lock()
+		j.res, j.err = res, err
+		j.mu.Unlock()
+		close(j.done)
+	}()
+
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+// lookupJob resolves {id} or writes a 404 problem.
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) *job {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		writeProblem(w, http.StatusNotFound, "unknown job", fmt.Sprintf("no job %q", id))
+	}
+	return j
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	if j := s.lookupJob(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.snapshot())
+	}
+}
+
+// handleJobCancel cancels an in-flight job. The job then finishes as
+// failed with the typed cancellation error (sim.SimError, phase
+// "cancelled"); cancelling a finished job is a no-op. Either way the
+// current snapshot is returned.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusOK, j.snapshot())
+}

@@ -1,0 +1,49 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"duplo/internal/sim"
+)
+
+// Problem is the typed error document (application/problem+json shape)
+// used both as an HTTP error body and embedded in a failed JobStatus. For
+// simulation failures the sim.SimError structure is carried verbatim, so
+// a client can distinguish a cancelled job from a tripped watchdog or an
+// exhausted cycle budget without parsing prose.
+type Problem struct {
+	// Status is the HTTP status (0 when embedded in a job).
+	Status int    `json:"status,omitempty"`
+	Title  string `json:"title"`
+	Detail string `json:"detail,omitempty"`
+
+	// Simulation-failure structure (sim.SimError): the guard phase
+	// ("cancelled", "deadline", "cycle-limit", "watchdog", "panic",
+	// "program"), the simulated clock when it tripped, and the crash-dump
+	// path when one was written.
+	Phase string `json:"phase,omitempty"`
+	Cycle int64  `json:"cycle,omitempty"`
+	Dump  string `json:"dump,omitempty"`
+}
+
+// simProblem converts a run error into its problem document, lifting the
+// structured SimError fields when present.
+func simProblem(err error) *Problem {
+	p := &Problem{Title: "simulation failed", Detail: err.Error()}
+	var se *sim.SimError
+	if errors.As(err, &se) {
+		p.Phase, p.Cycle, p.Dump = se.Phase, se.Cycle, se.Dump
+	}
+	return p
+}
+
+// writeProblem writes an HTTP-level problem response.
+func writeProblem(w http.ResponseWriter, status int, title, detail string) {
+	w.Header().Set("Content-Type", "application/problem+json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(Problem{Status: status, Title: title, Detail: detail}) //nolint:errcheck // header written
+}

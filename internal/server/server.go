@@ -1,0 +1,158 @@
+// Package server implements duploserved, the simulation-as-a-service
+// daemon: N clients, one warm result store, zero redundant simulation.
+//
+// The HTTP surface (all JSON; errors are typed problem documents):
+//
+//	POST   /v1/runs          submit one (layer, config) simulation job
+//	GET    /v1/runs/{id}     job status; result or structured error when done
+//	DELETE /v1/runs/{id}     cancel an in-flight job
+//	GET    /v1/sweeps/{id}   run a whole figure/ablation, streaming NDJSON
+//	GET    /healthz          liveness
+//	GET    /statsz           cache/store/job counters
+//
+// All jobs share one experiments.Runner, so concurrent clients requesting
+// the same cell coalesce onto a single simulation (the PR 1 singleflight
+// machinery), and every successful run lands in the content-addressed
+// disk store (internal/store) where it outlives the process. Per-job
+// MaxCycles/WallTimeout budgets and cancellation ride on the PR 5
+// RunContext/SimError plumbing; a failed or cancelled job reports the
+// SimError's phase/cycle/dump as JSON instead of a stack trace.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"duplo/internal/experiments"
+	"duplo/internal/store"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Options is the base experiment scale every job and sweep runs at
+	// (CTA cap, simulated SMs, worker pool, default budgets). Its Context
+	// is the daemon lifetime: cancelling it aborts every in-flight job
+	// and sweep. Its Store field is overridden by Config.Store.
+	Options experiments.Options
+	// Store is the shared on-disk result tier (nil = memory-only: results
+	// then live exactly as long as the process).
+	Store *store.Store
+}
+
+// Server is the duploserved HTTP handler state.
+type Server struct {
+	opts   experiments.Options
+	store  *store.Store
+	runner *experiments.Runner // shared by all /v1/runs jobs
+	ctx    context.Context     // daemon lifetime
+
+	mu   sync.Mutex
+	jobs map[string]*job
+	seq  int64
+
+	sweepsActive atomic.Int64
+	sweepExecs   atomic.Int64 // cumulative simulations executed by finished sweeps
+}
+
+// New builds a Server. The shared job runner is created here; sweeps get
+// per-request runners (their progress streams belong to one response) that
+// share the same disk store.
+func New(cfg Config) *Server {
+	opts := cfg.Options
+	opts.Store = cfg.Store
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Server{
+		opts:   opts,
+		store:  cfg.Store,
+		runner: experiments.NewRunner(opts),
+		ctx:    ctx,
+		jobs:   make(map[string]*job),
+	}
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweep)
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// StatsZ is the /statsz body: one snapshot of every counter a capacity
+// dashboard needs — cache tiers, job states, sweep activity.
+type StatsZ struct {
+	// Workers is the shared job runner's pool width.
+	Workers int `json:"workers"`
+	// Execs counts simulations the shared job runner actually executed
+	// (both cache tiers missed). Sweeps run on per-request runners; their
+	// executed simulations accumulate in SweepExecs as each sweep ends.
+	Execs      int64 `json:"execs"`
+	StoreHits  int64 `json:"store_hits"`
+	SweepExecs int64 `json:"sweep_execs"`
+
+	JobsTotal   int   `json:"jobs_total"`
+	JobsRunning int   `json:"jobs_running"`
+	JobsDone    int   `json:"jobs_done"`
+	JobsFailed  int   `json:"jobs_failed"`
+	SweepsOpen  int64 `json:"sweeps_open"`
+
+	// Store holds the disk tier's counters; absent when the daemon runs
+	// memory-only.
+	Store *store.Counters `json:"store,omitempty"`
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	st := StatsZ{
+		Workers:    s.runner.Workers(),
+		Execs:      s.runner.Execs(),
+		StoreHits:  s.runner.StoreHits(),
+		SweepExecs: s.sweepExecs.Load(),
+		SweepsOpen: s.sweepsActive.Load(),
+	}
+	s.mu.Lock()
+	st.JobsTotal = len(s.jobs)
+	for _, j := range s.jobs {
+		switch j.snapshot().Status {
+		case jobRunning:
+			st.JobsRunning++
+		case jobDone:
+			st.JobsDone++
+		case jobFailed:
+			st.JobsFailed++
+		}
+	}
+	s.mu.Unlock()
+	if s.store != nil {
+		c := s.store.Counters()
+		st.Store = &c
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// writeJSON writes one JSON document with the right header. Encoding
+// errors past the header write are unrecoverable mid-body; they surface
+// as a truncated response the client's decoder rejects.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // header already written
+}

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+
+	"duplo/internal/experiments"
+	"duplo/internal/report"
+)
+
+// SweepEvent is one NDJSON line of a GET /v1/sweeps/{id} response. The
+// stream is: one "start", interleaved "progress" lines as cells finish,
+// one "table" with the assembled figure, an optional "error" (partial
+// tables still carry their ERR cells), and a final "done" with the
+// sweep's execution counters.
+type SweepEvent struct {
+	Type  string `json:"type"` // start | progress | table | error | done
+	Sweep string `json:"sweep,omitempty"`
+	// Message is the progress line ("fig9 ResNet/C2 1024-entry done").
+	Message string     `json:"message,omitempty"`
+	Table   *TableJSON `json:"table,omitempty"`
+	Problem *Problem   `json:"problem,omitempty"`
+	// Done-event counters: how many simulations this sweep actually
+	// executed vs served warm from the disk store.
+	Execs     int64 `json:"execs,omitempty"`
+	StoreHits int64 `json:"store_hits,omitempty"`
+}
+
+// TableJSON is a report.Table in structured form.
+type TableJSON struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+func tableJSON(t *report.Table) *TableJSON {
+	return &TableJSON{Title: t.Title, Headers: t.Headers(), Rows: t.Rows()}
+}
+
+// handleSweepList returns the sweep registry ids.
+func (s *Server) handleSweepList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Sweeps []string `json:"sweeps"`
+	}{experiments.NewRunner(experiments.Options{Workers: 1}).SweepIDs()})
+}
+
+// handleSweep runs one whole figure/ablation and streams progress as
+// NDJSON. Each sweep gets its own runner — its progress sink belongs to
+// this response — sharing the daemon's disk store, so cells another
+// client (or a previous sweep) already simulated are served warm and the
+// stream shows store_hits instead of re-simulation.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+
+	// The sweep dies with the client connection or the daemon, whichever
+	// ends first.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(s.ctx, cancel)
+	defer stop()
+
+	var emitMu sync.Mutex
+	flusher, _ := w.(http.Flusher)
+	headerWritten := false
+	emit := func(ev SweepEvent) {
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		if !headerWritten {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			headerWritten = true
+		}
+		json.NewEncoder(w).Encode(ev) //nolint:errcheck // stream best-effort
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	opts := s.opts
+	opts.Store = s.store
+	opts.Context = ctx
+	opts.Verbose = true
+	opts.Progress = func(line string) { emit(SweepEvent{Type: "progress", Message: line}) }
+	rr := experiments.NewRunner(opts)
+
+	sweep, ok := rr.Sweep(id)
+	if !ok {
+		writeProblem(w, http.StatusNotFound, "unknown sweep",
+			"known sweeps: "+strings.Join(rr.SweepIDs(), ", "))
+		return
+	}
+
+	s.sweepsActive.Add(1)
+	defer func() {
+		s.sweepsActive.Add(-1)
+		s.sweepExecs.Add(rr.Execs())
+	}()
+
+	emit(SweepEvent{Type: "start", Sweep: id})
+	tbl, err := sweep.Run()
+	if tbl != nil {
+		emit(SweepEvent{Type: "table", Sweep: id, Table: tableJSON(tbl)})
+	}
+	if err != nil {
+		emit(SweepEvent{Type: "error", Sweep: id, Problem: simProblem(err)})
+	}
+	emit(SweepEvent{Type: "done", Sweep: id, Execs: rr.Execs(), StoreHits: rr.StoreHits()})
+}

@@ -1,0 +1,242 @@
+// Package store persists simulation results on disk, content-addressed by
+// the experiments runner's cache key, so the (kernel, config) → Result
+// mapping survives process exit. The in-memory singleflight cache (PR 1)
+// dedups within one process; this store is the second tier underneath it:
+// one warm directory serves any number of later invocations — and any
+// number of duploserved clients — with zero redundant simulation.
+//
+// Layout: each record lives at <dir>/<hh>/<rest-of-sha256(key)>.json where
+// hh is the first two hex digits of the key hash (a two-level fan-out so
+// directories stay small). The file is a versioned JSON envelope carrying
+// the payload's own SHA-256, so truncation, bit flips and partial writes
+// are detected — a corrupt record is counted, removed, and reported as a
+// miss (the caller re-simulates; it never trusts a damaged file). Writes
+// go through a temp file plus atomic rename, so concurrent writers and
+// crashed processes leave either the old record or the new one, never a
+// torn file. A record whose envelope Version differs from FormatVersion
+// is ignored cleanly (miss, no corruption count, file left in place for
+// the older/newer binary that owns it).
+//
+// Only successful runs are persisted: the runner's failed-run eviction
+// semantics (PR 5) extend to this tier by construction, because a failed
+// simulation never reaches Put.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"duplo/internal/sim"
+)
+
+// FormatVersion is bumped whenever the persisted encoding changes
+// incompatibly (a field changes meaning, the checksum scheme changes, …).
+// Records carrying any other version are ignored, never reinterpreted.
+const FormatVersion = 1
+
+// Record is the persisted subset of a sim.Result: the full Stats block
+// plus the CTA accounting. The Kernel and Config are deliberately not
+// serialized — they are reconstructed by the caller from the same request
+// that produced the cache key, which is exactly what the key's
+// content-addressing guarantees is possible.
+type Record struct {
+	Stats         sim.Stats `json:"stats"`
+	SimulatedCTAs int       `json:"simulated_ctas"`
+	TotalCTAs     int       `json:"total_ctas"`
+}
+
+// RecordOf extracts the persisted subset of a result.
+func RecordOf(res sim.Result) Record {
+	return Record{Stats: res.Stats, SimulatedCTAs: res.SimulatedCTAs, TotalCTAs: res.TotalCTAs}
+}
+
+// Result rehydrates a full sim.Result by reattaching the kernel and config
+// the caller rebuilt from the run request.
+func (r Record) Result(k *sim.Kernel, cfg sim.Config) sim.Result {
+	return sim.Result{Stats: r.Stats, SimulatedCTAs: r.SimulatedCTAs, TotalCTAs: r.TotalCTAs,
+		Kernel: k, Config: cfg}
+}
+
+// envelope is the on-disk frame around a Record: the format version, the
+// full (unhashed) cache key for collision/tamper detection, and the
+// payload checksum.
+type envelope struct {
+	Version int             `json:"version"`
+	Key     string          `json:"key"`
+	Sum     string          `json:"sum"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Counters is a point-in-time snapshot of store activity (see Stats).
+type Counters struct {
+	Hits int64 `json:"hits"`
+	// Misses counts lookups that found no usable record for any reason
+	// (absent, corrupt, or version-skewed) — Hits+Misses is the lookup
+	// total.
+	Misses int64 `json:"misses"`
+	Puts   int64 `json:"puts"`
+	// PutErrors counts failed persists (the simulation result is still
+	// returned to the caller; the store is best-effort on the write side).
+	PutErrors int64 `json:"put_errors"`
+	// Corruptions counts records that failed envelope decode, key match,
+	// checksum, or payload decode; each was removed so the slot heals on
+	// the re-simulation's Put.
+	Corruptions int64 `json:"corruptions"`
+	// VersionSkips counts records ignored because their envelope Version
+	// differs from FormatVersion (left on disk untouched).
+	VersionSkips int64 `json:"version_skips"`
+}
+
+// Store is an on-disk content-addressed result store rooted at one
+// directory. All methods are safe for concurrent use by any number of
+// goroutines and cooperating processes sharing the directory.
+type Store struct {
+	dir string
+
+	hits, misses, puts, putErrors, corruptions, versionSkips atomic.Int64
+}
+
+// Open roots a store at dir, creating the directory if needed.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Path returns where the record for key lives (whether or not it exists):
+// the key is hashed, never trusted as a path component.
+func (s *Store) Path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	h := hex.EncodeToString(sum[:])
+	return filepath.Join(s.dir, h[:2], h[2:]+".json")
+}
+
+// Get looks key up. ok is false on any miss — absent, version-skewed, or
+// corrupt (counted separately; a corrupt file is removed so the slot heals
+// on the next Put). A false return always means "re-simulate"; Get never
+// returns a record it could not fully verify.
+func (s *Store) Get(key string) (Record, bool) {
+	path := s.Path(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			// Unreadable is indistinguishable from damaged for our purposes.
+			s.corrupt(path)
+		}
+		s.misses.Add(1)
+		return Record{}, false
+	}
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		s.corrupt(path)
+		s.misses.Add(1)
+		return Record{}, false
+	}
+	if env.Version != FormatVersion {
+		s.versionSkips.Add(1)
+		s.misses.Add(1)
+		return Record{}, false
+	}
+	if env.Key != key || env.Sum != payloadSum(env.Payload) {
+		s.corrupt(path)
+		s.misses.Add(1)
+		return Record{}, false
+	}
+	var rec Record
+	if err := json.Unmarshal(env.Payload, &rec); err != nil {
+		s.corrupt(path)
+		s.misses.Add(1)
+		return Record{}, false
+	}
+	s.hits.Add(1)
+	return rec, true
+}
+
+// Put persists rec under key atomically: the record is written to a temp
+// file in the destination directory and renamed into place, so a
+// concurrent reader sees the old record or the new one, never a torn
+// write. Errors are also tallied in Counters().PutErrors so best-effort
+// callers can drop the return value without losing observability.
+func (s *Store) Put(key string, rec Record) error {
+	err := s.put(key, rec)
+	if err != nil {
+		s.putErrors.Add(1)
+		return err
+	}
+	s.puts.Add(1)
+	return nil
+}
+
+func (s *Store) put(key string, rec Record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encode: %w", err)
+	}
+	data, err := json.Marshal(envelope{
+		Version: FormatVersion, Key: key, Sum: payloadSum(payload), Payload: payload,
+	})
+	if err != nil {
+		return fmt.Errorf("store: encode: %w", err)
+	}
+	path := s.Path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".put-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), path)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", werr)
+	}
+	return nil
+}
+
+// Counters snapshots the activity counters. The snapshot is not atomic
+// across fields, but each field is individually exact.
+func (s *Store) Counters() Counters {
+	return Counters{
+		Hits:         s.hits.Load(),
+		Misses:       s.misses.Load(),
+		Puts:         s.puts.Load(),
+		PutErrors:    s.putErrors.Load(),
+		Corruptions:  s.corruptions.Load(),
+		VersionSkips: s.versionSkips.Load(),
+	}
+}
+
+// corrupt records a damaged file and removes it, so the key heals on the
+// re-simulation's Put instead of re-parsing garbage forever.
+func (s *Store) corrupt(path string) {
+	s.corruptions.Add(1)
+	os.Remove(path)
+}
+
+// payloadSum is the envelope checksum: hex SHA-256 of the payload bytes.
+func payloadSum(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,286 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"duplo/internal/sim"
+)
+
+// fillInts walks v and assigns every settable integer field a distinct
+// nonzero value, recursing into structs and arrays. Built on reflection so
+// a Stats field added later is automatically part of the round-trip
+// check — a new field that fails to survive the disk trip breaks
+// TestStoreRoundTrip without anyone updating this file.
+func fillInts(v reflect.Value, next *int64) {
+	switch v.Kind() {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		*next++
+		v.SetInt(*next)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		*next++
+		v.SetUint(uint64(*next))
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			if v.Field(i).CanSet() {
+				fillInts(v.Field(i), next)
+			}
+		}
+	case reflect.Array, reflect.Slice:
+		for i := 0; i < v.Len(); i++ {
+			fillInts(v.Index(i), next)
+		}
+	}
+}
+
+// testRecord builds a Record with every integer field of Stats (and the
+// CTA accounting) set to a distinct nonzero value.
+func testRecord(t *testing.T) Record {
+	t.Helper()
+	var rec Record
+	var next int64 = 100
+	fillInts(reflect.ValueOf(&rec).Elem(), &next)
+	if rec.Stats.Cycles == 0 || rec.Stats.LHB.Hits == 0 || rec.Stats.ServiceLines[3] == 0 {
+		t.Fatalf("fillInts failed to reach nested fields: %+v", rec)
+	}
+	return rec
+}
+
+const testKey = "ResNet/C2|d=true|e=1024,w=1|..."
+
+// TestStoreRoundTrip pins Result → disk → Result as field-for-field
+// identical, including every nested Stats counter.
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testRecord(t)
+	if err := s.Put(testKey, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(testKey)
+	if !ok {
+		t.Fatal("freshly written record missed")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip changed the record:\n got %+v\nwant %+v", got, want)
+	}
+	// Rehydration attaches exactly the passed kernel/config.
+	cfg := sim.TitanVConfig()
+	res := got.Result(nil, cfg)
+	if !reflect.DeepEqual(res.Stats, want.Stats) || res.SimulatedCTAs != want.SimulatedCTAs ||
+		res.TotalCTAs != want.TotalCTAs || !reflect.DeepEqual(res.Config, cfg) {
+		t.Fatalf("rehydrated result mismatch: %+v", res)
+	}
+	c := s.Counters()
+	if c.Hits != 1 || c.Misses != 0 || c.Puts != 1 || c.Corruptions != 0 {
+		t.Fatalf("counters after round trip: %+v", c)
+	}
+}
+
+// TestStoreMiss pins the absent-key path: a plain miss, no corruption.
+func TestStoreMiss(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("never-written"); ok {
+		t.Fatal("hit on an absent key")
+	}
+	c := s.Counters()
+	if c.Misses != 1 || c.Corruptions != 0 || c.Hits != 0 {
+		t.Fatalf("counters after cold miss: %+v", c)
+	}
+}
+
+// corruptionCase damages a stored file in one way and expects detection.
+type corruptionCase struct {
+	name   string
+	damage func(t *testing.T, path string)
+}
+
+// TestStoreCorruptionDetected pins the safety property: a truncated or
+// bit-flipped record is detected, counted, removed, and reported as a
+// miss — never trusted — and the slot heals on the next Put.
+func TestStoreCorruptionDetected(t *testing.T) {
+	cases := []corruptionCase{
+		{"truncated", func(t *testing.T, path string) {
+			raw := readFile(t, path)
+			writeFile(t, path, raw[:len(raw)/2])
+		}},
+		{"bit-flipped payload", func(t *testing.T, path string) {
+			// Flip a digit inside the payload so the JSON still parses but
+			// the checksum no longer matches.
+			raw := readFile(t, path)
+			i := bytes.Index(raw, []byte(`"Cycles":`))
+			if i < 0 {
+				t.Fatal("no Cycles field in stored payload")
+			}
+			raw[i+len(`"Cycles":`)] ^= 0x01 // digit -> different digit
+			writeFile(t, path, raw)
+		}},
+		{"garbage", func(t *testing.T, path string) {
+			writeFile(t, path, []byte("not json at all"))
+		}},
+		{"wrong key", func(t *testing.T, path string) {
+			// A syntactically valid record filed under the wrong hash slot
+			// (e.g. a botched manual copy) must not be served for this key.
+			raw := readFile(t, path)
+			writeFile(t, path, bytes.Replace(raw, []byte(testKey), []byte("some-other-key"), 1))
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := testRecord(t)
+			if err := s.Put(testKey, rec); err != nil {
+				t.Fatal(err)
+			}
+			path := s.Path(testKey)
+			tc.damage(t, path)
+
+			if _, ok := s.Get(testKey); ok {
+				t.Fatal("damaged record was trusted")
+			}
+			c := s.Counters()
+			if c.Corruptions != 1 || c.Misses != 1 {
+				t.Fatalf("counters after damage: %+v", c)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatalf("damaged file not removed (stat err %v)", err)
+			}
+			// The slot heals: re-Put (the caller's re-simulation) and re-Get.
+			if err := s.Put(testKey, rec); err != nil {
+				t.Fatal(err)
+			}
+			got, ok := s.Get(testKey)
+			if !ok || !reflect.DeepEqual(got, rec) {
+				t.Fatalf("slot did not heal after re-put (ok=%v)", ok)
+			}
+		})
+	}
+}
+
+// TestStoreVersionSkew pins forward/backward compatibility: a record
+// written by a different format version is ignored cleanly — a miss, not
+// a corruption, and the file is left in place for the binary that owns it.
+func TestStoreVersionSkew(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := testRecord(t)
+	if err := s.Put(testKey, rec); err != nil {
+		t.Fatal(err)
+	}
+	// Re-frame the valid record under a bumped version (checksum stays
+	// valid, so only the version gate can reject it).
+	path := s.Path(testKey)
+	var env envelope
+	if err := json.Unmarshal(readFile(t, path), &env); err != nil {
+		t.Fatal(err)
+	}
+	env.Version = FormatVersion + 1
+	raw, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, path, raw)
+
+	if _, ok := s.Get(testKey); ok {
+		t.Fatal("version-skewed record was served")
+	}
+	c := s.Counters()
+	if c.VersionSkips != 1 || c.Corruptions != 0 || c.Misses != 1 {
+		t.Fatalf("counters after version skew: %+v", c)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("version-skewed file was removed: %v", err)
+	}
+	// Writing the current version reclaims the slot.
+	if err := s.Put(testKey, rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(testKey); !ok {
+		t.Fatal("slot not reclaimed after re-put")
+	}
+}
+
+// TestStorePersistsAcrossOpens pins the whole point: a second Store over
+// the same directory (a later process) serves the first one's records.
+func TestStorePersistsAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := testRecord(t)
+	if err := s1.Put(testKey, rec); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get(testKey)
+	if !ok || !reflect.DeepEqual(got, rec) {
+		t.Fatalf("record did not survive reopen (ok=%v)", ok)
+	}
+}
+
+// TestPersistedEncodingTags is the struct-tag consistency gate for the
+// persisted Result encoding (alongside `go vet`'s structtag check in CI):
+// every exported field of the on-disk types carries an explicit,
+// lowercase, unique json tag, so the wire/disk format never silently
+// depends on Go identifier spelling.
+func TestPersistedEncodingTags(t *testing.T) {
+	for _, typ := range []reflect.Type{
+		reflect.TypeOf(Record{}),
+		reflect.TypeOf(envelope{}),
+		reflect.TypeOf(Counters{}),
+	} {
+		seen := map[string]string{}
+		for i := 0; i < typ.NumField(); i++ {
+			f := typ.Field(i)
+			if !f.IsExported() && typ != reflect.TypeOf(envelope{}) {
+				continue
+			}
+			tag, _, _ := strings.Cut(f.Tag.Get("json"), ",")
+			if tag == "" || tag == "-" {
+				t.Errorf("%s.%s: missing json tag", typ.Name(), f.Name)
+				continue
+			}
+			if tag != strings.ToLower(tag) {
+				t.Errorf("%s.%s: json tag %q is not lowercase", typ.Name(), f.Name, tag)
+			}
+			if prev, dup := seen[tag]; dup {
+				t.Errorf("%s: json tag %q reused by %s and %s", typ.Name(), tag, prev, f.Name)
+			}
+			seen[tag] = f.Name
+		}
+	}
+}
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func writeFile(t *testing.T, path string, raw []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
