@@ -37,8 +37,21 @@
 // far, and exits non-zero. -max-cycles bounds each simulation's cycle
 // count as a livelock backstop (see DESIGN.md §5 "Robustness").
 //
+// -predict engages the calibrated analytical fast path (DESIGN.md §9):
+// "predict-all" synthesizes every in-envelope cell from the per-family
+// linear model, "hybrid" predicts only low-uncertainty, non-headline
+// cells (bounded by -predict-bound) and simulates the rest. The first
+// predicted run fits (or loads) the calibration; `-exp calibrate`
+// refits explicitly and prints the fit report with the gate verdict.
+// Predicted cells are marked "~" and each affected table carries a
+// max-predicted-error footer; predictions are never written to -store:
+//
+//	duploexp -exp calibrate -store ~/.cache/duplo   # fit + persist + report
+//	duploexp -exp fig9 -predict predict-all -store ~/.cache/duplo
+//	duploexp -exp fig9 -predict hybrid -predict-bound 0.10
+//
 // Experiments: table1 table2 table3 fig2 fig3 fig9 fig10 fig11 fig12 fig13
-// fig14 energy latency smem cache evict index limits.
+// fig14 energy latency smem cache evict index limits calibrate.
 package main
 
 import (
@@ -79,6 +92,9 @@ var (
 	maxCycles  = flag.Int64("max-cycles", 0, "abort any single simulation past this many cycles (0 = simulator default)")
 	crashDir   = flag.String("crash-dir", "", "directory for watchdog/panic crash dumps (default: system temp dir)")
 	storeDir   = flag.String("store", "", "directory of the on-disk result store (warm-starts identical runs; created if missing)")
+	predict    = flag.String("predict", "off", "calibrated analytical fast path: off | predict-all | hybrid (predicted cells are marked '~'; see DESIGN.md §9)")
+	predBound  = flag.Float64("predict-bound", 0.15, "hybrid mode's uncertainty bound: predict only when the family's calibrated MAPE is below this (0 = never predict)")
+	calibPath  = flag.String("calibration", "", "calibration artifact path (default: <store>/calibration/<key>.json when -store is set, else in-memory only)")
 )
 
 // errUnknownExperiment preserves the historical exit code 2 for a bad -exp.
@@ -114,8 +130,13 @@ func main() {
 }
 
 func run(ctx context.Context) error {
+	mode, err := experiments.ParsePredictorMode(*predict)
+	if err != nil {
+		return err
+	}
 	opts := experiments.Options{MaxCTAs: *ctas, SimSMs: *simSMs, Workers: *workers, SMWorkers: *smWorkers, Verbose: *verbose,
-		Context: ctx, MaxCycles: *maxCycles, CrashDumpDir: *crashDir}
+		Context: ctx, MaxCycles: *maxCycles, CrashDumpDir: *crashDir,
+		Predictor: mode, PredictBound: *predBound, CalibrationPath: *calibPath}
 	if *full {
 		opts.MaxCTAs = 0
 	}
@@ -171,10 +192,15 @@ func run(ctx context.Context) error {
 		failed = append(failed, "trace-cell")
 		fmt.Fprintf(os.Stderr, "duploexp: trace-cell: %v\n", err)
 	}
-	if st := r.Store(); st != nil && *verbose {
-		c := st.Counters()
-		fmt.Fprintf(os.Stderr, "[store %s: %d hits, %d misses, %d written]\n",
-			st.Dir(), c.Hits, c.Misses, c.Puts)
+	if *verbose {
+		cs := r.CacheStats()
+		fmt.Fprintf(os.Stderr, "[runner: %d workers, %d simulated, %d memo hits, %d store hits, %d predicted]\n",
+			cs.Workers, cs.Execs, cs.MemHits, cs.StoreHits, cs.Predicted)
+		if st := r.Store(); st != nil {
+			c := st.Counters()
+			fmt.Fprintf(os.Stderr, "[store %s: %d hits, %d misses, %d written, %d put errors, %d corrupt, %d version-skipped]\n",
+				st.Dir(), c.Hits, c.Misses, c.Puts, c.PutErrors, c.Corruptions, c.VersionSkips)
+		}
 	}
 	if len(failed) > 0 {
 		return fmt.Errorf("%d of the requested experiments failed: %s", len(failed), strings.Join(failed, ", "))

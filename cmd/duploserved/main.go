@@ -15,7 +15,14 @@
 //	curl -X DELETE localhost:8080/v1/runs/r000001   # cancel
 //	curl localhost:8080/v1/sweeps/fig9              # NDJSON progress stream
 //	curl localhost:8080/healthz
-//	curl localhost:8080/statsz
+//	curl localhost:8080/statsz                      # includes the predictor block
+//	curl -X POST localhost:8080/v1/calibrate        # fit/load the predictor calibration
+//
+// With -predict hybrid (or predict-all), sweeps serve low-uncertainty
+// cells from the calibrated analytical model (DESIGN.md §9) instead of
+// cycle-sim; predicted cells are "~"-marked in tables and counted in
+// /statsz. POST /v1/calibrate (add ?force=1 to refit) pre-warms the
+// calibration; jobs submitted via /v1/runs always run real cycle-sim.
 //
 // -max-cycles and -wall-timeout set the default per-job budgets (each job
 // may tighten its own via max_cycles / wall_timeout_ms). Ctrl-C/SIGTERM
@@ -50,6 +57,9 @@ var (
 	maxCycles   = flag.Int64("max-cycles", 0, "default per-job simulated-cycle budget (0 = simulator default)")
 	wallTimeout = flag.Duration("wall-timeout", 0, "default per-job wall-clock budget (0 = none)")
 	crashDir    = flag.String("crash-dir", "", "directory for watchdog/panic crash dumps (default: system temp dir)")
+	predict     = flag.String("predict", "off", "sweep predictor mode: off | predict-all | hybrid (jobs always run cycle-sim)")
+	predBound   = flag.Float64("predict-bound", 0.15, "hybrid mode: max predicted relative error before falling back to cycle-sim")
+	calibPath   = flag.String("calibration", "", "calibration artifact path (default: <store>/calibration/<key>.json)")
 	gracePeriod = flag.Duration("grace", 5*time.Second, "shutdown grace period for open connections")
 	verbose     = flag.Bool("v", false, "log job progress to stderr")
 )
@@ -65,9 +75,14 @@ func main() {
 }
 
 func run(ctx context.Context) error {
+	mode, err := experiments.ParsePredictorMode(*predict)
+	if err != nil {
+		return err
+	}
 	opts := experiments.Options{
 		MaxCTAs: *ctas, SimSMs: *simSMs, Workers: *workers, SMWorkers: *smWorkers,
 		MaxCycles: *maxCycles, WallTimeout: *wallTimeout, CrashDumpDir: *crashDir,
+		Predictor: mode, PredictBound: *predBound, CalibrationPath: *calibPath,
 		Context: ctx,
 	}
 	if *verbose {

@@ -71,6 +71,9 @@ var (
 	maxCycles  = flag.Int64("max-cycles", 0, "abort either simulation past this many cycles (0 = simulator default)")
 	crashDir   = flag.String("crash-dir", "", "directory for watchdog/panic crash dumps (default: system temp dir)")
 	storeDir   = flag.String("store", "", "directory of the on-disk result store (warm-starts identical runs; created if missing)")
+	predict    = flag.String("predict", "off", "calibrated analytical fast path: off | predict-all | hybrid (predicted stats are labeled; see DESIGN.md §9)")
+	predBound  = flag.Float64("predict-bound", 0.15, "hybrid mode's uncertainty bound (0 = never predict)")
+	calibPath  = flag.String("calibration", "", "calibration artifact path (default: <store>/calibration/<key>.json when -store is set, else in-memory only)")
 )
 
 func main() {
@@ -139,7 +142,30 @@ func run(ctx context.Context) error {
 	// baseline and Duplo simulations execute concurrently, and -store
 	// warm-starts them from the on-disk result store (a traced run always
 	// executes — the collector must observe a real execution).
-	ropts := experiments.Options{MaxCTAs: *ctas, SimSMs: *simSMs, Workers: *workers, SMWorkers: *smWorkers, Context: ctx}
+	mode, err := experiments.ParsePredictorMode(*predict)
+	if err != nil {
+		return err
+	}
+	ropts := experiments.Options{MaxCTAs: *ctas, SimSMs: *simSMs, Workers: *workers, SMWorkers: *smWorkers, Context: ctx,
+		MaxCycles: *maxCycles, WallTimeout: *timeout, CrashDumpDir: *crashDir,
+		Predictor: mode, PredictBound: *predBound, CalibrationPath: *calibPath}
+	if mode != experiments.PredictorOff {
+		// Prediction engages only inside the runner's calibrated envelope, so
+		// the run config must be the resolved options config (notably
+		// SMWorkers 0 resolves to the serial per-run loop — results are
+		// byte-identical either way). Dense-clock or traced runs fall
+		// outside the envelope and simulate as usual.
+		cfg = ropts.Config()
+		cfg.DenseClock = *dense
+		dcfg = cfg
+		dcfg.Duplo = true
+		dcfg.DetectCfg.LHB = duplo.LHBConfig{Entries: *lhb, Ways: *ways, Oracle: *oracle}
+		if *traceRun == "base" && col != nil {
+			cfg.Tracer = col
+		} else if col != nil {
+			dcfg.Tracer = col
+		}
+	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir)
 		if err != nil {
@@ -163,7 +189,11 @@ func run(ctx context.Context) error {
 	printStats("baseline", base)
 	printStats("duplo", dup)
 
-	fmt.Printf("performance improvement: %+.1f%%\n", 100*sim.Speedup(base, dup))
+	mark := ""
+	if base.Predicted || dup.Predicted {
+		mark = " ~"
+	}
+	fmt.Printf("performance improvement: %+.1f%%%s\n", 100*sim.Speedup(base, dup), mark)
 	fmt.Printf("DRAM read traffic:       %+.1f%%\n",
 		100*(float64(dup.DRAMLines)/float64(base.DRAMLines)-1))
 	fmt.Printf("LHB hit rate:            %.1f%% (%d lookups, %d hits)\n",
@@ -211,6 +241,11 @@ func writeExports(col *trace.Collector) error {
 }
 
 func printStats(name string, r sim.Result) {
+	if r.Predicted {
+		// Visibly distinguish synthesized stats from simulated ones, with
+		// the calibration's expected relative error (DESIGN.md §9).
+		name += fmt.Sprintf(" ~ predicted, expected error <= %.1f%%", 100*r.PredictedErr)
+	}
 	fmt.Printf("[%s]\n", name)
 	fmt.Printf("  cycles            %12d\n", r.Cycles)
 	fmt.Printf("  instructions      %12d (loads %d, MMAs %d, stores %d)\n",

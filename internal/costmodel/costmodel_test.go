@@ -114,3 +114,65 @@ func TestTensorCoreAdvantage(t *testing.T) {
 		t.Error("tensor cores should win on compute-bound layers")
 	}
 }
+
+// Fig. 2's measured per-layer ordering: GEMM_TC is the fastest GEMM
+// variant on every Table I layer — including the memory-bound
+// transposed-conv ones, where the half-precision workspace keeps the
+// tensor-core kernel's byte traffic below the fp32 kernel's.
+func TestTensorCoreNeverExceedsCUDACore(t *testing.T) {
+	d := RTX2080Ti()
+	for _, l := range workload.AllLayers() {
+		p := l.GemmParams()
+		tc := Seconds(d, memmodel.GEMMTensorCore, p)
+		g := Seconds(d, memmodel.GEMM, p)
+		if tc > g {
+			t.Errorf("%s: GEMM_TC %.3e slower than GEMM %.3e (ratio %.3f)",
+				l.FullName(), tc, g, tc/g)
+		}
+	}
+}
+
+// Roofline estimates must be monotone in layer size: growing the batch
+// (with everything else fixed) only adds work and traffic, so no
+// method's estimated time may shrink.
+func TestSecondsMonotoneInBatch(t *testing.T) {
+	d := RTX2080Ti()
+	methods := append(memmodel.Methods(), memmodel.Direct, memmodel.ImplicitGEMM)
+	for _, l := range workload.AllLayers() {
+		for _, m := range methods {
+			prev := 0.0
+			for _, n := range []int{1, 2, 4, 8, 16, 32} {
+				p := l.GemmParams()
+				p.N = n
+				if !memmodel.Applicable(m, p) {
+					continue
+				}
+				s := Seconds(d, m, p)
+				if s < prev {
+					t.Errorf("%s %v: time shrank from %.3e to %.3e growing batch to %d",
+						l.FullName(), m, prev, s, n)
+				}
+				prev = s
+			}
+		}
+	}
+}
+
+// Channel growth is monotone too (the other size axis a layer sweep
+// moves).
+func TestSecondsMonotoneInChannels(t *testing.T) {
+	d := RTX2080Ti()
+	c2, _ := workload.Find("ResNet", "C2")
+	for _, m := range []memmodel.Method{memmodel.GEMM, memmodel.GEMMTensorCore, memmodel.Direct} {
+		prev := 0.0
+		for _, c := range []int{16, 32, 64, 128, 256} {
+			p := c2.GemmParams()
+			p.C = c
+			s := Seconds(d, m, p)
+			if s < prev {
+				t.Errorf("%v: time shrank from %.3e to %.3e growing channels to %d", m, prev, s, c)
+			}
+			prev = s
+		}
+	}
+}

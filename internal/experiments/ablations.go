@@ -9,6 +9,12 @@ import (
 	"duplo/internal/workload"
 )
 
+// The ablations below use the exact run variants only: they probe design
+// axes (detection latency, operand placement, cache scaling, eviction
+// policy, index hashing) the calibrated predictor never saw move, so
+// their tables are documented as ground-truth-only at every predictor
+// mode (DESIGN.md §9).
+
 // AblationLatency reproduces the §IV-A sensitivity: a 3-cycle detection
 // unit costs only ~0.9% versus the 2-cycle design.
 func (r *Runner) AblationLatency() (*report.Table, error) {
@@ -18,7 +24,7 @@ func (r *Runner) AblationLatency() (*report.Table, error) {
 	type row struct{ i2, i3 float64 }
 	rows := make([]row, len(layers))
 	errs := r.forEachLayer(layers, func(i int, l workload.Layer) error {
-		base, err := r.Baseline(l)
+		base, err := r.BaselineExact(l)
 		if err != nil {
 			return err
 		}
@@ -31,7 +37,7 @@ func (r *Runner) AblationLatency() (*report.Table, error) {
 			cfg.Duplo = true
 			cfg.DetectCfg.LHB = DefaultLHB
 			cfg.DetectCfg.LatencyCycles = lat
-			res, err := r.Run(k, cfg)
+			res, err := r.RunExact(k, cfg)
 			if err != nil {
 				return 0, err
 			}
@@ -86,7 +92,7 @@ func (r *Runner) AblationSharedMem() (*report.Table, error) {
 		}
 		k.Variant = v
 		k.Name = fmt.Sprintf("%s@%s", l.FullName(), v)
-		res, err := r.Run(k, r.opts.config())
+		res, err := r.RunExact(k, r.opts.config())
 		if err != nil {
 			return err
 		}
@@ -125,7 +131,7 @@ func (r *Runner) AblationCacheScaling() (*report.Table, error) {
 	type row struct{ base, big int64 }
 	rows := make([]row, len(layers))
 	errs := r.forEachLayer(layers, func(i int, l workload.Layer) error {
-		base, err := r.Baseline(l)
+		base, err := r.BaselineExact(l)
 		if err != nil {
 			return err
 		}
@@ -136,7 +142,7 @@ func (r *Runner) AblationCacheScaling() (*report.Table, error) {
 		cfg := r.opts.config()
 		cfg.L1KB *= 16
 		cfg.L2KB *= 4
-		big, err := r.Run(k, cfg)
+		big, err := r.RunExact(k, cfg)
 		if err != nil {
 			return err
 		}
@@ -186,11 +192,11 @@ func (r *Runner) AblationEviction() (*report.Table, error) {
 	errs := r.fanOutAll(len(layers)*len(points), func(idx int) error {
 		li, pi := idx/len(points), idx%len(points)
 		l := layers[li]
-		base, err := r.Baseline(l)
+		base, err := r.BaselineExact(l)
 		if err != nil {
 			return err
 		}
-		dup, err := r.Duplo(l, points[pi].cfg)
+		dup, err := r.DuploExact(l, points[pi].cfg)
 		if err != nil {
 			return err
 		}
@@ -238,15 +244,15 @@ func (r *Runner) AblationIndexing() (*report.Table, error) {
 	}
 	rows := make([]row, len(layers))
 	errs := r.forEachLayer(layers, func(i int, l workload.Layer) error {
-		base, err := r.Baseline(l)
+		base, err := r.BaselineExact(l)
 		if err != nil {
 			return err
 		}
-		hash, err := r.Duplo(l, DefaultLHB)
+		hash, err := r.DuploExact(l, DefaultLHB)
 		if err != nil {
 			return err
 		}
-		mod, err := r.Duplo(l, duplo.LHBConfig{Entries: 1024, Ways: 1, ModuloIndex: true})
+		mod, err := r.DuploExact(l, duplo.LHBConfig{Entries: 1024, Ways: 1, ModuloIndex: true})
 		if err != nil {
 			return err
 		}

@@ -10,7 +10,9 @@ import (
 
 // EnergyArea reproduces §V-H: on-chip energy reduction and LHB area
 // overhead relative to the register file (paper: -34.1% energy, +0.77%
-// area).
+// area). The energy model integrates detailed per-event counters, so this
+// table is ground-truth-only at every predictor mode (exact run variants;
+// DESIGN.md §9).
 func (r *Runner) EnergyArea() (*report.Table, error) {
 	layers := r.opts.layers()
 	m := energy.Default12nm()
@@ -21,11 +23,11 @@ func (r *Runner) EnergyArea() (*report.Table, error) {
 	}
 	rows := make([]row, len(layers))
 	errs := r.forEachLayer(layers, func(i int, l workload.Layer) error {
-		base, err := r.Baseline(l)
+		base, err := r.BaselineExact(l)
 		if err != nil {
 			return err
 		}
-		dup, err := r.Duplo(l, DefaultLHB)
+		dup, err := r.DuploExact(l, DefaultLHB)
 		if err != nil {
 			return err
 		}

@@ -18,10 +18,26 @@ const errCell = "ERR"
 // errCell; an aggregate over a column containing any failed cell is
 // itself errCell — a silently partial gmean would masquerade as the
 // paper's headline number.
+//
+// pred, when non-nil, carries per-cell predicted errors (predErrOf
+// convention: -1 = ground truth, >= 0 = predicted with that expected
+// relative error): predicted cells render with the "~" marker, a footer
+// over any predicted cell is marked too, and the table gets the
+// predicted-legend note with the max predicted error. A nil (or
+// all-ground-truth) pred leaves the output byte-identical to the
+// pre-predictor rendering.
 func renderGrid(t *report.Table, layers []workload.Layer, cols int, errs []error,
-	vals [][]float64, cell func(float64) string, aggName string, agg func([]float64) float64) {
+	vals, pred [][]float64, cell func(float64) string, aggName string, agg func([]float64) float64) {
 	colVals := make([][]float64, cols)
 	colErr := make([]bool, cols)
+	colPred := make([]bool, cols)
+	var flat []float64
+	predAt := func(li, ci int) float64 {
+		if pred == nil {
+			return -1
+		}
+		return pred[li][ci]
+	}
 	for li, l := range layers {
 		row := []string{l.FullName()}
 		for ci := 0; ci < cols; ci++ {
@@ -30,20 +46,29 @@ func renderGrid(t *report.Table, layers []workload.Layer, cols int, errs []error
 				row = append(row, errCell)
 				continue
 			}
+			pe := predAt(li, ci)
+			if pe >= 0 {
+				colPred[ci] = true
+			}
+			flat = append(flat, pe)
 			colVals[ci] = append(colVals[ci], vals[li][ci])
-			row = append(row, cell(vals[li][ci]))
+			row = append(row, markPred(cell(vals[li][ci]), pe))
 		}
 		t.AddRowCells(row)
 	}
 	foot := []string{aggName}
 	for ci := 0; ci < cols; ci++ {
-		if colErr[ci] {
+		switch {
+		case colErr[ci]:
 			foot = append(foot, errCell)
-		} else {
+		case colPred[ci]:
+			foot = append(foot, cell(agg(colVals[ci]))+predictedMark)
+		default:
 			foot = append(foot, cell(agg(colVals[ci])))
 		}
 	}
 	t.AddRowCells(foot)
+	predNote(t, flat)
 }
 
 // footerCell renders an aggregate footer cell: errCell when any

@@ -65,6 +65,25 @@ type Options struct {
 	// the disk tier — and traced runs bypass the store entirely, because a
 	// collector must observe an actual execution.
 	Store *store.Store
+
+	// Predictor selects the calibrated analytical fast path (DESIGN.md §9):
+	// PredictorOff (the zero value) keeps every run cycle-sim ground
+	// truth; PredictAll predicts every gate-passing cell inside the
+	// calibrated envelope; PredictHybrid predicts only cells whose
+	// calibrated uncertainty is strictly below PredictBound and never the
+	// cells feeding headline ratios. Predicted results are marked
+	// (sim.Result.Predicted, "~" in tables) and never persisted.
+	Predictor PredictorMode
+	// PredictBound is hybrid mode's uncertainty bound: a family predicts
+	// only when its calibrated MAPE is strictly below this. The zero value
+	// never predicts — hybrid output is then byte-identical to
+	// PredictorOff by construction. (CLI flags default it to the gate
+	// threshold, 0.15.)
+	PredictBound float64
+	// CalibrationPath overrides where the calibration artifact is
+	// persisted and loaded ("" = <store dir>/calibration/<keyhash>.json
+	// when a store is attached, else in-memory only).
+	CalibrationPath string
 }
 
 // DefaultOptions returns the standard experiment scale.

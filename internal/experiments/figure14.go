@@ -12,7 +12,9 @@ import (
 // scaled from the simulated CTA prefix to the whole grid) for one pass.
 // The per-GEMM simulations fan out on the worker pool; the total is summed
 // in kernel order so the float result is bit-identical at any Workers.
-func (r *Runner) networkCycles(layers []workload.Layer, training, duploOn bool) (float64, error) {
+// predErr reports the worst predicted error among contributing GEMMs
+// (predErrOf convention: -1 when every GEMM is ground truth).
+func (r *Runner) networkCycles(layers []workload.Layer, training, duploOn bool) (total, predErr float64, err error) {
 	cfg := r.opts.config()
 	cfg.Duplo = duploOn
 	cfg.DetectCfg.LHB = DefaultLHB
@@ -26,7 +28,8 @@ func (r *Runner) networkCycles(layers []workload.Layer, training, duploOn bool) 
 		}
 	}
 	cycles := make([]float64, len(gemms))
-	err := r.fanOut(len(gemms), func(i int) error {
+	preds := make([]float64, len(gemms))
+	err = r.fanOut(len(gemms), func(i int) error {
 		g := gemms[i]
 		var k *sim.Kernel
 		var err error
@@ -45,17 +48,21 @@ func (r *Runner) networkCycles(layers []workload.Layer, training, duploOn bool) 
 		// Scale the simulated CTA prefix to the full grid.
 		scale := float64(res.TotalCTAs) / float64(res.SimulatedCTAs)
 		cycles[i] = float64(res.Cycles) * scale
+		preds[i] = predErrOf(res)
 		r.progress("fig14 %s done (duplo=%v)", g.Name, duploOn)
 		return nil
 	})
 	if err != nil {
-		return 0, err
+		return 0, -1, err
 	}
-	total := 0.0
-	for _, c := range cycles {
+	predErr = -1
+	for i, c := range cycles {
 		total += c
+		if preds[i] > predErr {
+			predErr = preds[i]
+		}
 	}
-	return total, nil
+	return total, predErr, nil
 }
 
 // Fig14 reproduces Figure 14: network-level execution time of baseline (B)
@@ -69,7 +76,9 @@ func (r *Runner) Fig14() (*report.Table, error) {
 	var inferImps, trainImps []float64
 	var errs []error
 	var labels []string
+	var preds []float64
 	inferFailed, trainFailed := false, false
+	inferPred, trainPred := false, false
 	for _, name := range workload.NetworkNames() {
 		layers := workload.Networks()[name]
 		for _, training := range []bool{false, true} {
@@ -78,18 +87,31 @@ func (r *Runner) Fig14() (*report.Table, error) {
 				pass = "Train."
 			}
 			labels = append(labels, name+"/"+pass)
-			base, err := r.networkCycles(layers, training, false)
+			base, basePE, err := r.networkCycles(layers, training, false)
 			if err == nil {
-				var dup float64
-				dup, err = r.networkCycles(layers, training, true)
+				var dup, dupPE float64
+				dup, dupPE, err = r.networkCycles(layers, training, true)
 				if err == nil {
+					pe := basePE
+					if dupPE > pe {
+						pe = dupPE
+					}
+					preds = append(preds, pe)
+					if pe >= 0 {
+						if training {
+							trainPred = true
+						} else {
+							inferPred = true
+						}
+					}
 					red := 1 - dup/base
 					if training {
 						trainImps = append(trainImps, red)
 					} else {
 						inferImps = append(inferImps, red)
 					}
-					t.AddRowCells([]string{name, pass, "1.00", fmt.Sprintf("%.2f", dup/base), report.Pct(red)})
+					t.AddRowCells([]string{name, pass, "1.00",
+						markPred(fmt.Sprintf("%.2f", dup/base), pe), markPred(report.Pct(red), pe)})
 				}
 			}
 			errs = append(errs, err)
@@ -103,13 +125,17 @@ func (r *Runner) Fig14() (*report.Table, error) {
 			}
 		}
 	}
-	meanCell := func(failed bool, v []float64) string {
+	meanCell := func(failed, pred bool, v []float64) string {
 		if failed {
 			return errCell
 		}
+		if pred {
+			return report.Pct(mean(v)) + predictedMark
+		}
 		return report.Pct(mean(v))
 	}
-	t.AddRowCells([]string{"Mean", "Infer.", "1.00", "", meanCell(inferFailed, inferImps)})
-	t.AddRowCells([]string{"Mean", "Train.", "1.00", "", meanCell(trainFailed, trainImps)})
+	t.AddRowCells([]string{"Mean", "Infer.", "1.00", "", meanCell(inferFailed, inferPred, inferImps)})
+	t.AddRowCells([]string{"Mean", "Train.", "1.00", "", meanCell(trainFailed, trainPred, trainImps)})
+	predNote(t, preds)
 	return t, sweepError("fig14", errs, func(i int) string { return labels[i] })
 }

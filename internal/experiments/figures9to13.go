@@ -23,25 +23,30 @@ func (r *Runner) Fig9() (*report.Table, error) {
 	}
 	t := report.NewTable("Figure 9: Performance improvement vs LHB size", headers...)
 	imps := make([][]float64, len(layers))
+	preds := predMatrix(len(layers), len(LHBPoints))
 	for i := range imps {
 		imps[i] = make([]float64, len(LHBPoints))
 	}
 	errs := r.fanOutAll(len(layers)*len(LHBPoints), func(idx int) error {
 		li, pi := idx/len(LHBPoints), idx%len(LHBPoints)
 		l := layers[li]
-		base, err := r.Baseline(l)
+		// The 1024-entry column is the paper's chosen design point — the
+		// headline ratio hybrid mode never predicts.
+		headline := LHBPoints[pi].Cfg == DefaultLHB
+		base, err := r.baseline(l, headline)
 		if err != nil {
 			return err
 		}
-		dup, err := r.Duplo(l, LHBPoints[pi].Cfg)
+		dup, err := r.duplo(l, LHBPoints[pi].Cfg, headline)
 		if err != nil {
 			return err
 		}
 		imps[li][pi] = sim.Speedup(base, dup)
+		preds[li][pi] = predErrOf(base, dup)
 		r.progress("fig9 %s %s done", l.FullName(), LHBPoints[pi].Name)
 		return nil
 	})
-	renderGrid(t, layers, len(LHBPoints), errs, imps, report.Pct, "Gmean", gmeanImprovement)
+	renderGrid(t, layers, len(LHBPoints), errs, imps, preds, report.Pct, "Gmean", gmeanImprovement)
 	return t, sweepError("fig9", errs, gridLabel(layers, len(LHBPoints),
 		func(pi int) string { return LHBPoints[pi].Name }))
 }
@@ -55,20 +60,23 @@ func (r *Runner) Fig10() (*report.Table, error) {
 	}
 	t := report.NewTable("Figure 10: LHB hit rate vs size", headers...)
 	rates := make([][]float64, len(layers))
+	preds := predMatrix(len(layers), len(LHBPoints))
 	for i := range rates {
 		rates[i] = make([]float64, len(LHBPoints))
 	}
 	errs := r.fanOutAll(len(layers)*len(LHBPoints), func(idx int) error {
 		li, pi := idx/len(LHBPoints), idx%len(LHBPoints)
-		dup, err := r.Duplo(layers[li], LHBPoints[pi].Cfg)
+		headline := LHBPoints[pi].Cfg == DefaultLHB
+		dup, err := r.duplo(layers[li], LHBPoints[pi].Cfg, headline)
 		if err != nil {
 			return err
 		}
 		rates[li][pi] = dup.LHBHitRate()
+		preds[li][pi] = predErrOf(dup)
 		r.progress("fig10 %s %s done", layers[li].FullName(), LHBPoints[pi].Name)
 		return nil
 	})
-	renderGrid(t, layers, len(LHBPoints), errs, rates, report.PctU, "Mean", mean)
+	renderGrid(t, layers, len(LHBPoints), errs, rates, preds, report.PctU, "Mean", mean)
 	return t, sweepError("fig10", errs, gridLabel(layers, len(LHBPoints),
 		func(pi int) string { return LHBPoints[pi].Name }))
 }
@@ -89,15 +97,25 @@ func (r *Runner) Fig11() (*report.Table, error) {
 	t := report.NewTable("Figure 11: Memory service breakdown (B=baseline, D=Duplo 1024)",
 		"Layer", "Cfg", "LHB", "L1$", "L2$", "DRAM", "dDRAM", "dL1svc", "dL2svc")
 	rows := make([]fig11Row, len(layers))
+	preds := make([]float64, len(layers))
+	for i := range preds {
+		preds[i] = -1
+	}
 	errs := r.forEachLayer(layers, func(i int, l workload.Layer) error {
-		base, err := r.Baseline(l)
+		// Every cell here feeds the §V-D headline deltas, so the whole
+		// figure is headline: hybrid mode always simulates it, predict-all
+		// predicts (and marks) it.
+		base, err := r.baseline(l, true)
 		if err != nil {
 			return err
 		}
-		dup, err := r.Duplo(l, DefaultLHB)
+		dup, err := r.duplo(l, DefaultLHB, true)
 		if err != nil {
 			return err
 		}
+		pe := predErrOf(base, dup)
+		preds[i] = pe
+		mark := func(s string) string { return markPred(s, pe) }
 		bb := base.ServiceBreakdown()
 		db := dup.ServiceBreakdown()
 		rd := ratioDelta(dup.DRAMLines, base.DRAMLines)
@@ -107,19 +125,19 @@ func (r *Runner) Fig11() (*report.Table, error) {
 		rl2 := ratioDelta(dup.ServiceLines[sim.ServiceL2], base.ServiceLines[sim.ServiceL2])
 		rows[i] = fig11Row{
 			baseCells: []string{l.FullName(), "B",
-				report.PctU(bb[sim.ServiceLHB]), report.PctU(bb[sim.ServiceL1]),
-				report.PctU(bb[sim.ServiceL2]), report.PctU(bb[sim.ServiceDRAM]), "", "", ""},
+				mark(report.PctU(bb[sim.ServiceLHB])), mark(report.PctU(bb[sim.ServiceL1])),
+				mark(report.PctU(bb[sim.ServiceL2])), mark(report.PctU(bb[sim.ServiceDRAM])), "", "", ""},
 			dupCells: []string{"", "D",
-				report.PctU(db[sim.ServiceLHB]), report.PctU(db[sim.ServiceL1]),
-				report.PctU(db[sim.ServiceL2]), report.PctU(db[sim.ServiceDRAM]),
-				report.Pct(rd), report.Pct(rl1), report.Pct(rl2)},
+				mark(report.PctU(db[sim.ServiceLHB])), mark(report.PctU(db[sim.ServiceL1])),
+				mark(report.PctU(db[sim.ServiceL2])), mark(report.PctU(db[sim.ServiceDRAM])),
+				mark(report.Pct(rd)), mark(report.Pct(rl1)), mark(report.Pct(rl2))},
 			dDRAM: rd, dL1: rl1, dL2: rl2,
 		}
 		r.progress("fig11 %s done", l.FullName())
 		return nil
 	})
 	var dDRAM, dL1, dL2 []float64
-	failed := false
+	failed, anyPred := false, false
 	for i, row := range rows {
 		if errs[i] != nil {
 			failed = true
@@ -129,18 +147,28 @@ func (r *Runner) Fig11() (*report.Table, error) {
 				errCell, errCell, errCell, errCell, errCell, errCell, errCell})
 			continue
 		}
+		if preds[i] >= 0 {
+			anyPred = true
+		}
 		t.AddRowCells(row.baseCells)
 		t.AddRowCells(row.dupCells)
 		dDRAM = append(dDRAM, row.dDRAM)
 		dL1 = append(dL1, row.dL1)
 		dL2 = append(dL2, row.dL2)
 	}
+	meanMark := func(s string) string {
+		if anyPred {
+			return s + predictedMark
+		}
+		return s
+	}
 	if failed {
 		t.AddRowCells([]string{"Mean", "", "", "", "", "", errCell, errCell, errCell})
 	} else {
 		t.AddRowCells([]string{"Mean", "", "", "", "", "",
-			report.Pct(mean(dDRAM)), report.Pct(mean(dL1)), report.Pct(mean(dL2))})
+			meanMark(report.Pct(mean(dDRAM))), meanMark(report.Pct(mean(dL1))), meanMark(report.Pct(mean(dL2)))})
 	}
+	predNote(t, preds)
 	return t, sweepError("fig11", errs, func(i int) string { return layers[i].FullName() })
 }
 
@@ -166,25 +194,31 @@ func (r *Runner) Fig12() (*report.Table, error) {
 	}
 	t := report.NewTable("Figure 12: Performance improvement vs LHB associativity (1024 entries)", headers...)
 	imps := make([][]float64, len(layers))
+	preds := predMatrix(len(layers), len(ways))
 	for i := range imps {
 		imps[i] = make([]float64, len(ways))
 	}
 	errs := r.fanOutAll(len(layers)*len(ways), func(idx int) error {
 		li, wi := idx/len(ways), idx%len(ways)
 		l := layers[li]
-		base, err := r.Baseline(l)
+		// Direct-mapped is the recommended design (§V-E) — the headline
+		// column. Associative cells are outside the calibrated envelope
+		// anyway (the fit never saw Ways > 1), so they always simulate.
+		headline := ways[wi] == 1
+		base, err := r.baseline(l, headline)
 		if err != nil {
 			return err
 		}
-		dup, err := r.Duplo(l, duplo.LHBConfig{Entries: 1024, Ways: ways[wi]})
+		dup, err := r.duplo(l, duplo.LHBConfig{Entries: 1024, Ways: ways[wi]}, headline)
 		if err != nil {
 			return err
 		}
 		imps[li][wi] = sim.Speedup(base, dup)
+		preds[li][wi] = predErrOf(base, dup)
 		r.progress("fig12 %s %d-way done", l.FullName(), ways[wi])
 		return nil
 	})
-	renderGrid(t, layers, len(ways), errs, imps, report.Pct, "Gmean", gmeanImprovement)
+	renderGrid(t, layers, len(ways), errs, imps, preds, report.Pct, "Gmean", gmeanImprovement)
 	return t, sweepError("fig12", errs, gridLabel(layers, len(ways),
 		func(wi int) string { return fmt.Sprintf("%d-way", ways[wi]) }))
 }
@@ -202,6 +236,7 @@ func (r *Runner) Fig13() (*report.Table, error) {
 	}
 	t := report.NewTable("Figure 13: Performance improvement vs batch size (1024-entry LHB)", headers...)
 	imps := make([][]float64, len(layers))
+	preds := predMatrix(len(layers), len(batches))
 	for i := range imps {
 		imps[i] = make([]float64, len(batches))
 	}
@@ -227,10 +262,11 @@ func (r *Runner) Fig13() (*report.Table, error) {
 			return err
 		}
 		imps[li][bi] = sim.Speedup(base, dup)
+		preds[li][bi] = predErrOf(base, dup)
 		r.progress("fig13 %s b%d done", l.FullName(), b)
 		return nil
 	})
-	renderGrid(t, layers, len(batches), errs, imps, report.Pct, "Gmean", gmeanImprovement)
+	renderGrid(t, layers, len(batches), errs, imps, preds, report.Pct, "Gmean", gmeanImprovement)
 	return t, sweepError("fig13", errs, gridLabel(layers, len(batches),
 		func(bi int) string { return fmt.Sprintf("b%d", batches[bi]) }))
 }

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	duplo "duplo/internal/core"
+	"duplo/internal/predictor"
 	"duplo/internal/report"
 	"duplo/internal/sim"
 	"duplo/internal/store"
@@ -44,8 +45,18 @@ type Runner struct {
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
 
-	execs     atomic.Int64 // simulations actually executed (both tiers missed)
+	// Calibrated analytical predictor state (predict.go): the installed
+	// calibration (nil until first use), a remembered fit failure so a
+	// broken calibration degrades to ground truth once instead of
+	// re-fitting per cell, and the lock serializing first-use fitting.
+	calMu  sync.Mutex
+	cal    *predictor.Calibration
+	calErr error
+
+	execs     atomic.Int64 // simulations actually executed (all tiers missed)
+	memHits   atomic.Int64 // runs served from the in-memory singleflight cache
 	storeHits atomic.Int64 // runs served from the disk tier
+	predicted atomic.Int64 // runs synthesized by the analytical predictor
 }
 
 // cacheEntry is one singleflight slot: done closes when res/err are final.
@@ -98,6 +109,33 @@ func (r *Runner) Execs() int64 { return r.execs.Load() }
 // of simulating (0 when no store is configured).
 func (r *Runner) StoreHits() int64 { return r.storeHits.Load() }
 
+// Predicted returns how many runs were synthesized by the calibrated
+// analytical predictor instead of simulating (0 unless Options.Predictor
+// enables it). Memoized re-reads of a predicted cell are not counted.
+func (r *Runner) Predicted() int64 { return r.predicted.Load() }
+
+// CacheStats is a point-in-time snapshot of the runner's tiered caching
+// activity, surfaced by `duploexp -v` and duploserved's /statsz.
+type CacheStats struct {
+	Workers   int   `json:"workers"`
+	Execs     int64 `json:"execs"`
+	MemHits   int64 `json:"mem_hits"`
+	StoreHits int64 `json:"store_hits"`
+	Predicted int64 `json:"predicted"`
+}
+
+// CacheStats snapshots the tier counters. Like store.Counters, the
+// snapshot is not atomic across fields but each field is exact.
+func (r *Runner) CacheStats() CacheStats {
+	return CacheStats{
+		Workers:   r.workers,
+		Execs:     r.execs.Load(),
+		MemHits:   r.memHits.Load(),
+		StoreHits: r.storeHits.Load(),
+		Predicted: r.predicted.Load(),
+	}
+}
+
 // Store returns the disk tier, nil when the runner is memory-only.
 func (r *Runner) Store() *store.Store { return r.store }
 
@@ -121,23 +159,38 @@ func (r *Runner) key(kernelName string, cfg sim.Config) string {
 		cfg.SMWorkers, cfg.MaxCycles, cfg.WallTimeout)
 }
 
-// Run simulates kernel k under cfg, memoized and singleflighted: safe for
-// concurrent use, and each unique key simulates at most once per attempt
-// wave. Only successful runs stay memoized — a failed run's entry is
-// evicted before it is published, so concurrent waiters get the error but
-// a later request retries instead of being served a poisoned key for the
-// process lifetime.
+// Run obtains kernel k's result under cfg, memoized and singleflighted:
+// safe for concurrent use, and each unique key simulates at most once per
+// attempt wave. Only successful runs stay memoized — a failed run's entry
+// is evicted before it is published, so concurrent waiters get the error
+// but a later request retries instead of being served a poisoned key for
+// the process lifetime.
+//
+// When Options.Predictor enables the analytical fast path, Run may return
+// a predicted (marked, never persisted) result instead of simulating —
+// see runTier in predict.go for the exact decision. RunExact always
+// simulates.
 func (r *Runner) Run(k *sim.Kernel, cfg sim.Config) (sim.Result, error) {
-	return r.RunCtx(r.ctx, k, cfg)
+	return r.runTier(r.ctx, k, cfg, false)
 }
 
-// RunCtx is Run with an explicit context governing this request's
-// execution: when this request ends up being the one that simulates, ctx
-// (not the runner-wide context) cancels it. Coalesced waiters share the
-// executing request's fate — a cancelled executor propagates its error to
-// the waiters, and the eviction semantics mean their retry re-simulates.
-// duploserved uses this for per-job cancellation on a shared runner; a nil
-// ctx selects the runner-wide context.
+// RunHeadline is Run for cells that feed a table's headline ratios: in
+// hybrid mode these always simulate (the safety contract), while
+// predict-all still predicts them (the caller asked for speed over
+// everything inside the gate).
+func (r *Runner) RunHeadline(k *sim.Kernel, cfg sim.Config) (sim.Result, error) {
+	return r.runTier(r.ctx, k, cfg, true)
+}
+
+// RunCtx is the exact-tier Run with an explicit context governing this
+// request's execution: when this request ends up being the one that
+// simulates, ctx (not the runner-wide context) cancels it. Coalesced
+// waiters share the executing request's fate — a cancelled executor
+// propagates its error to the waiters, and the eviction semantics mean
+// their retry re-simulates. duploserved uses this for per-job
+// cancellation on a shared runner; a nil ctx selects the runner-wide
+// context. RunCtx never predicts: single-run requests (POST /v1/runs,
+// duplosim's default) are ground-truth API surface.
 func (r *Runner) RunCtx(ctx context.Context, k *sim.Kernel, cfg sim.Config) (sim.Result, error) {
 	if ctx == nil {
 		ctx = r.ctx
@@ -146,6 +199,7 @@ func (r *Runner) RunCtx(ctx context.Context, k *sim.Kernel, cfg sim.Config) (sim
 	r.mu.Lock()
 	if e, ok := r.cache[key]; ok {
 		r.mu.Unlock()
+		r.memHits.Add(1)
 		<-e.done
 		return e.res, e.err
 	}
@@ -257,17 +311,27 @@ func LayerKernel(l workload.Layer) (*sim.Kernel, error) {
 	return sim.NewConvKernel(l.FullName(), l.GemmParams())
 }
 
-// Baseline runs the layer without Duplo.
+// Baseline runs the layer without Duplo (predict-aware; headline marks
+// cells feeding a table's headline ratios, which hybrid mode always
+// simulates).
 func (r *Runner) Baseline(l workload.Layer) (sim.Result, error) {
+	return r.baseline(l, false)
+}
+
+func (r *Runner) baseline(l workload.Layer, headline bool) (sim.Result, error) {
 	k, err := LayerKernel(l)
 	if err != nil {
 		return sim.Result{}, err
 	}
-	return r.Run(k, r.opts.config())
+	return r.runTier(r.ctx, k, r.opts.config(), headline)
 }
 
-// Duplo runs the layer with the given LHB configuration.
+// Duplo runs the layer with the given LHB configuration (predict-aware).
 func (r *Runner) Duplo(l workload.Layer, lhb duplo.LHBConfig) (sim.Result, error) {
+	return r.duplo(l, lhb, false)
+}
+
+func (r *Runner) duplo(l workload.Layer, lhb duplo.LHBConfig, headline bool) (sim.Result, error) {
 	k, err := LayerKernel(l)
 	if err != nil {
 		return sim.Result{}, err
@@ -275,7 +339,7 @@ func (r *Runner) Duplo(l workload.Layer, lhb duplo.LHBConfig) (sim.Result, error
 	cfg := r.opts.config()
 	cfg.Duplo = true
 	cfg.DetectCfg.LHB = lhb
-	return r.Run(k, cfg)
+	return r.runTier(r.ctx, k, cfg, headline)
 }
 
 // TraceRun simulates one named cell — the layer at this runner's scale,

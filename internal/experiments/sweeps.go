@@ -43,6 +43,7 @@ func (r *Runner) Sweeps() []Sweep {
 		{"cache", true, r.AblationCacheScaling},
 		{"evict", true, r.AblationEviction},
 		{"index", true, r.AblationIndexing},
+		{"calibrate", true, r.FigCalibrate},
 	}
 }
 

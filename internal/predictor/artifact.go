@@ -1,0 +1,122 @@
+package predictor
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// Calibration artifacts persist through the same versioned-envelope frame
+// as internal/store records: {version, key, sum, payload} with the
+// payload's own SHA-256, written via temp file + atomic rename. A warm
+// daemon (or a second duploexp invocation pointed at the same artifact)
+// therefore never refits — and a truncated, bit-flipped, version-skewed
+// or wrong-key artifact is a clean refit, never a reinterpretation.
+
+// envelope mirrors store.envelope; predictor keeps its own copy so the
+// artifact format is self-contained (store persists sim Records, this
+// persists fitted models — they version independently).
+type envelope struct {
+	Version int             `json:"version"`
+	Key     string          `json:"key"`
+	Sum     string          `json:"sum"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// ErrMismatch reports a structurally valid artifact fitted for a
+// different calibration key (different sim config, workload set, or
+// predictor format): the caller must refit, but the file is not damaged.
+var ErrMismatch = errors.New("predictor: calibration key mismatch")
+
+// Save writes the calibration artifact atomically. The parent directory
+// is created if needed.
+func Save(path string, c *Calibration) error {
+	payload, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Errorf("predictor: encode: %w", err)
+	}
+	// Compact, like store records: MarshalIndent would re-indent the
+	// embedded RawMessage and break the checksum's byte-for-byte contract.
+	data, err := json.Marshal(envelope{
+		Version: FormatVersion, Key: c.Key, Sum: payloadSum(payload), Payload: payload,
+	})
+	if err != nil {
+		return fmt.Errorf("predictor: encode: %w", err)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("predictor: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".calib-*")
+	if err != nil {
+		return fmt.Errorf("predictor: %w", err)
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), path)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("predictor: %w", werr)
+	}
+	return nil
+}
+
+// Load reads and fully verifies a calibration artifact. It returns
+// fs.ErrNotExist (wrapped) when the file is absent, ErrMismatch (wrapped,
+// with both keys) when the artifact was fitted for a different key, and a
+// descriptive error for damage or version skew. Callers treat every
+// non-nil error the same way — refit — but the distinction keeps logs
+// honest.
+func Load(path, wantKey string) (*Calibration, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("predictor: %w", err)
+		}
+		return nil, fmt.Errorf("predictor: read %s: %w", path, err)
+	}
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return nil, fmt.Errorf("predictor: %s: corrupt envelope: %w", path, err)
+	}
+	if env.Version != FormatVersion {
+		return nil, fmt.Errorf("predictor: %s: format version %d, want %d", path, env.Version, FormatVersion)
+	}
+	if env.Sum != payloadSum(env.Payload) {
+		return nil, fmt.Errorf("predictor: %s: payload checksum mismatch", path)
+	}
+	if env.Key != wantKey {
+		return nil, fmt.Errorf("%w: artifact %q, want %q", ErrMismatch, env.Key, wantKey)
+	}
+	var c Calibration
+	if err := json.Unmarshal(env.Payload, &c); err != nil {
+		return nil, fmt.Errorf("predictor: %s: corrupt payload: %w", path, err)
+	}
+	if c.Key != wantKey {
+		return nil, fmt.Errorf("%w: payload %q, want %q", ErrMismatch, c.Key, wantKey)
+	}
+	return &c, nil
+}
+
+// DefaultPath places the artifact inside a store directory, keyed by the
+// calibration key's hash, so differently-scaled daemons sharing one cache
+// directory keep separate calibrations.
+func DefaultPath(storeDir, key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(storeDir, "calibration", hex.EncodeToString(sum[:])[:16]+".json")
+}
+
+// payloadSum is the envelope checksum: hex SHA-256 of the payload bytes.
+func payloadSum(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}

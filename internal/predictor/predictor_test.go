@@ -1,0 +1,376 @@
+package predictor
+
+import (
+	"errors"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"duplo/internal/conv"
+	duplo "duplo/internal/core"
+	"duplo/internal/sim"
+)
+
+var testLayer = conv.Params{N: 2, H: 16, W: 16, C: 16, K: 32, FH: 3, FW: 3, Pad: 1, Stride: 1}
+
+func testKernel(t *testing.T) *sim.Kernel {
+	t.Helper()
+	k, err := sim.NewConvKernel("predtest", testLayer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func testConfig() sim.Config {
+	cfg := sim.TitanVConfig()
+	cfg.SimSMs = 2
+	cfg.MaxCTAs = 8
+	return cfg
+}
+
+func TestFamily(t *testing.T) {
+	k := testKernel(t)
+	if got := Family(k); got != "conv3x3s1" {
+		t.Errorf("Family = %q, want conv3x3s1", got)
+	}
+	g, err := sim.NewGemmKernel("g", 64, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Family(g); got != "gemm" {
+		t.Errorf("gemm Family = %q", got)
+	}
+}
+
+// TestFeaturesShape: the feature vector is index-aligned with
+// FeatureNames, finite, and the Duplo terms engage only with the
+// detection unit on.
+func TestFeaturesShape(t *testing.T) {
+	k := testKernel(t)
+	cfg := testConfig()
+	f := Features(k, cfg)
+	if len(f) != len(FeatureNames) {
+		t.Fatalf("features %d != names %d", len(f), len(FeatureNames))
+	}
+	for i, v := range f {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("feature %s is %v", FeatureNames[i], v)
+		}
+	}
+	idx := func(name string) int {
+		for i, n := range FeatureNames {
+			if n == name {
+				return i
+			}
+		}
+		t.Fatalf("no feature %q", name)
+		return -1
+	}
+	if f[idx("bias")] != 1 {
+		t.Error("bias feature != 1")
+	}
+	if f[idx("eligible")] != 0 || f[idx("elim_red")] != 0 {
+		t.Error("Duplo terms nonzero with the detection unit off")
+	}
+	cfg.Duplo = true
+	cfg.DetectCfg.LHB = duplo.DefaultDetectionUnitConfig().LHB
+	fd := Features(k, cfg)
+	if fd[idx("eligible")] <= 0 || fd[idx("elim_red")] <= 0 {
+		t.Error("Duplo terms zero with the detection unit on")
+	}
+	if fd[idx("elim_near")] > fd[idx("elim_red")]+1e-9 {
+		t.Error("capacity-discounted elimination exceeds the unlimited volume")
+	}
+}
+
+// TestTargetIndexCoversAllNames: every name PredictResult dereferences
+// (and every declared target) resolves without panicking.
+func TestTargetIndexCoversAllNames(t *testing.T) {
+	for _, n := range TargetNames {
+		if got := TargetNames[targetIndex(n)]; got != n {
+			t.Errorf("targetIndex(%q) resolved to %q", n, got)
+		}
+	}
+	// Every normalized target must also be a real target (its intensity is
+	// computed from Targets) and resolve in a model with no normalized fit.
+	empty := &FamilyModel{}
+	for _, n := range NormTargetNames {
+		if got := TargetNames[targetIndex(n)]; got != n {
+			t.Errorf("norm target %q is not a target", n)
+		}
+		if w := empty.normWeights(n); w != nil {
+			t.Errorf("normWeights(%q) on an empty model = %v, want nil", n, w)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("targetIndex on an unknown name did not panic")
+		}
+	}()
+	targetIndex("no-such-target")
+}
+
+// synthSamples builds a calibration set whose cycles target is exactly
+// linear in the features — the fit must recover it to machine precision.
+func synthSamples(k *sim.Kernel) []Sample {
+	var ss []Sample
+	for _, ctas := range []int{2, 4, 6, 8, 10, 12} {
+		for _, don := range []bool{false, true} {
+			cfg := testConfig()
+			cfg.MaxCTAs = ctas
+			cfg.Duplo = don
+			if don {
+				cfg.DetectCfg = duplo.DefaultDetectionUnitConfig()
+			}
+			f := Features(k, cfg)
+			targets := make([]float64, len(TargetNames))
+			for t := range targets {
+				// Deterministic synthetic ground truth: a distinct linear
+				// combination per target.
+				targets[t] = 1000 + float64(t+1)*f[1] + 2*float64(t+1)*f[len(f)-1]
+			}
+			s := Sample{Family: Family(k), Duplo: don, Features: f, Targets: targets}
+			if don {
+				s.Eligible = float64(k.StaticWork(cfg.MaxCTAs).ARowLoads())
+				s.Intensive = Intensives(k, cfg)
+			}
+			ss = append(ss, s)
+		}
+	}
+	return ss
+}
+
+// TestFitRecoversLinearTruth: on exactly-linear synthetic data the fit
+// passes the gate with ~zero error and PredictResult round-trips the
+// cycles prediction.
+func TestFitRecoversLinearTruth(t *testing.T) {
+	k := testKernel(t)
+	ss := synthSamples(k)
+	cal, err := Fit("test-key", ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cal.GatePass() {
+		t.Fatal("gate failed on exactly-linear data")
+	}
+	m, ok := cal.Model(k)
+	if !ok {
+		t.Fatal("no model for the fitted family")
+	}
+	if m.All.MAPE > 1e-6 || m.All.Pearson < 0.999 {
+		t.Errorf("linear fit not exact: MAPE %g r %g", m.All.MAPE, m.All.Pearson)
+	}
+	if m.Uncertainty() > 1e-6 {
+		t.Errorf("uncertainty %g on exact data", m.Uncertainty())
+	}
+	cfg := testConfig()
+	cfg.MaxCTAs = 6
+	res, ok := cal.PredictResult(k, cfg)
+	if !ok {
+		t.Fatal("PredictResult refused a gate-passing family")
+	}
+	if !res.Predicted {
+		t.Error("predicted result not marked Predicted")
+	}
+	f := Features(k, cfg)
+	want := 1000 + 1*f[1] + 2*f[len(f)-1]
+	if got := float64(res.Cycles); math.Abs(got-want) > 1 {
+		t.Errorf("predicted cycles %g, want %g", got, want)
+	}
+	// Exact static counters are filled from the work profile.
+	w := k.StaticWork(cfg.MaxCTAs)
+	if res.Instructions != w.Instructions() || res.TensorLoads != w.RowLoads() {
+		t.Error("exact counters not filled from the static work profile")
+	}
+}
+
+// TestFitRejectsMalformedSamples: length mismatches are programming
+// errors, not noise.
+func TestFitRejectsMalformedSamples(t *testing.T) {
+	if _, err := Fit("k", []Sample{{Family: "f", Features: []float64{1}, Targets: []float64{1}}}); err == nil {
+		t.Error("Fit accepted a malformed sample")
+	}
+}
+
+// TestGateFailingFamilyNeverPredicts: a family whose metrics miss the
+// thresholds must be refused by Model and PredictResult.
+func TestGateFailingFamilyNeverPredicts(t *testing.T) {
+	k := testKernel(t)
+	cal, err := Fit("k", synthSamples(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal.Families[Family(k)].GatePass = false
+	if _, ok := cal.Model(k); ok {
+		t.Error("Model returned a gate-failing family")
+	}
+	if _, ok := cal.PredictResult(k, testConfig()); ok {
+		t.Error("PredictResult used a gate-failing family")
+	}
+	var nilCal *Calibration
+	if _, ok := nilCal.Model(k); ok {
+		t.Error("nil calibration returned a model")
+	}
+}
+
+// TestPredictResultClamps: predicted counters respect the accounting
+// invariants even when the raw linear prediction goes negative or
+// inconsistent.
+func TestPredictResultClamps(t *testing.T) {
+	k := testKernel(t)
+	cal, err := Fit("k", synthSamples(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cal.Families[Family(k)]
+	// Force pathological weights: hits way above accesses, negative DRAM.
+	for i := range m.Weights[targetIndex("l1_hits")] {
+		m.Weights[targetIndex("l1_hits")][i] *= 100
+	}
+	for i := range m.Weights[targetIndex("dram_lines")] {
+		m.Weights[targetIndex("dram_lines")][i] *= -1
+	}
+	cfg := testConfig()
+	cfg.Duplo = true
+	cfg.DetectCfg = duplo.DefaultDetectionUnitConfig()
+	res, ok := cal.PredictResult(k, cfg)
+	if !ok {
+		t.Fatal("no prediction")
+	}
+	if res.L1Hits > res.L1Accesses {
+		t.Errorf("L1 hits %d > accesses %d", res.L1Hits, res.L1Accesses)
+	}
+	if res.DRAMLines < 0 {
+		t.Errorf("negative DRAM lines %d", res.DRAMLines)
+	}
+	if res.LHB.Hits > res.LHB.Lookups {
+		t.Errorf("LHB hits %d > lookups %d", res.LHB.Hits, res.LHB.Lookups)
+	}
+	if res.LHB.Hits+res.LHB.Misses != res.LHB.Lookups {
+		t.Error("LHB hits+misses != lookups")
+	}
+	if res.LoadsEliminated != int64(res.LHB.Hits) {
+		t.Errorf("eliminated %d != LHB hits %d (simulator invariant)", res.LoadsEliminated, res.LHB.Hits)
+	}
+	if res.Cycles < 1 {
+		t.Errorf("cycles %d < 1", res.Cycles)
+	}
+	// Baseline predictions must carry no Duplo activity at all.
+	cfg.Duplo = false
+	cfg.DetectCfg = duplo.DetectionUnitConfig{}
+	res, _ = cal.PredictResult(k, cfg)
+	if res.LHB.Lookups != 0 || res.LoadsEliminated != 0 {
+		t.Error("baseline prediction carries Duplo counters")
+	}
+}
+
+// TestMetricsVacuousPearson: correlation needs spread — tiny subsets and
+// near-constant targets gate on MAPE alone.
+func TestMetricsVacuousPearson(t *testing.T) {
+	flat := []float64{1e6, 1e6 + 10, 1e6 - 10, 1e6 + 5}
+	m := metricsOver(allIdx(len(flat)),
+		func(i int) float64 { return flat[i] + 1 },
+		func(i int) float64 { return flat[i] })
+	if m.Pearson != 1 {
+		t.Errorf("near-constant subset Pearson %g, want vacuous 1", m.Pearson)
+	}
+	two := metricsOver([]int{0, 1},
+		func(i int) float64 { return float64(i) },
+		func(i int) float64 { return -float64(i) })
+	if two.Pearson != 1 {
+		t.Errorf("N=2 Pearson %g, want vacuous 1", two.Pearson)
+	}
+	// Real spread with anti-correlated predictions must be caught.
+	y := []float64{100, 200, 300, 400}
+	anti := metricsOver(allIdx(len(y)),
+		func(i int) float64 { return y[len(y)-1-i] },
+		func(i int) float64 { return y[i] })
+	if anti.Pearson > -0.99 {
+		t.Errorf("anti-correlated Pearson %g, want ~-1", anti.Pearson)
+	}
+}
+
+func TestCountClamps(t *testing.T) {
+	if count(-5) != 0 || count(math.NaN()) != 0 {
+		t.Error("negative/NaN not clamped to 0")
+	}
+	if count(2.6) != 3 {
+		t.Error("rounding broken")
+	}
+	if count(math.MaxFloat64) != math.MaxInt64/2 {
+		t.Error("overflow not clamped")
+	}
+}
+
+// TestArtifactRoundTrip: Save/Load preserve the calibration bit-for-bit
+// and every tamper mode is detected.
+func TestArtifactRoundTrip(t *testing.T) {
+	k := testKernel(t)
+	cal, err := Fit("round-trip-key", synthSamples(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sub", "calib.json")
+	if err := Save(path, cal); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path, cal.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != cal.Key || len(got.Families) != len(cal.Families) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	gm, cm := got.Families[Family(k)], cal.Families[Family(k)]
+	if gm.All.MAPE != cm.All.MAPE || len(gm.Weights) != len(cm.Weights) {
+		t.Error("family model did not round-trip")
+	}
+
+	if _, err := Load(path, "some-other-key"); !errors.Is(err, ErrMismatch) {
+		t.Errorf("key mismatch error %v, want ErrMismatch", err)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json"), cal.Key); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("missing artifact error %v, want fs.ErrNotExist", err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := strings.Replace(string(raw), `"gate_pass":true`, `"gate_pass":false`, 1)
+	if corrupt == string(raw) {
+		t.Fatal("tamper target not found in artifact")
+	}
+	if err := os.WriteFile(path, []byte(corrupt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path, cal.Key); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("tampered artifact error %v, want a checksum mismatch", err)
+	}
+
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path, cal.Key); err == nil {
+		t.Error("Load accepted garbage")
+	}
+}
+
+func TestDefaultPathStable(t *testing.T) {
+	a := DefaultPath("/store", "key-1")
+	b := DefaultPath("/store", "key-1")
+	c := DefaultPath("/store", "key-2")
+	if a != b {
+		t.Error("DefaultPath not deterministic")
+	}
+	if a == c {
+		t.Error("distinct keys map to the same artifact path")
+	}
+	if !strings.HasPrefix(a, filepath.Join("/store", "calibration")+string(filepath.Separator)) {
+		t.Errorf("unexpected artifact location %q", a)
+	}
+}

@@ -46,7 +46,12 @@ func (s *Sink) Println(msg string) {
 
 // Table accumulates rows and renders them with aligned columns.
 type Table struct {
-	Title   string
+	Title string
+	// Note, when non-empty, renders as one trailing line under the rows
+	// (e.g. the predicted-cell legend with the per-table max predicted
+	// error). It is omitted from CSV output — cells carry their own
+	// markers there — but carried on the JSON export (duploserved).
+	Note    string
 	headers []string
 	rows    [][]string
 }
@@ -126,6 +131,9 @@ func (t *Table) Render(w io.Writer) {
 	line(sep)
 	for _, r := range t.rows {
 		line(r)
+	}
+	if t.Note != "" {
+		fmt.Fprintln(w, t.Note)
 	}
 }
 

@@ -54,8 +54,9 @@ type Server struct {
 	jobs map[string]*job
 	seq  int64
 
-	sweepsActive atomic.Int64
-	sweepExecs   atomic.Int64 // cumulative simulations executed by finished sweeps
+	sweepsActive   atomic.Int64
+	sweepExecs     atomic.Int64 // cumulative simulations executed by finished sweeps
+	sweepPredicted atomic.Int64 // cumulative predictor-synthesized cells across finished sweeps
 }
 
 // New builds a Server. The shared job runner is created here; sweeps get
@@ -83,6 +84,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/calibrate", s.handleCalibrate)
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
@@ -106,6 +108,9 @@ type StatsZ struct {
 	Execs      int64 `json:"execs"`
 	StoreHits  int64 `json:"store_hits"`
 	SweepExecs int64 `json:"sweep_execs"`
+	// SweepPredicted accumulates predictor-synthesized cells across
+	// finished sweeps (jobs never predict: POST /v1/runs is ground truth).
+	SweepPredicted int64 `json:"sweep_predicted"`
 
 	JobsTotal   int   `json:"jobs_total"`
 	JobsRunning int   `json:"jobs_running"`
@@ -116,15 +121,20 @@ type StatsZ struct {
 	// Store holds the disk tier's counters; absent when the daemon runs
 	// memory-only.
 	Store *store.Counters `json:"store,omitempty"`
+	// Predictor reports the analytical fast path's mode and the installed
+	// calibration's per-family fit quality (DESIGN.md §9).
+	Predictor *PredictorStatsZ `json:"predictor"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	st := StatsZ{
-		Workers:    s.runner.Workers(),
-		Execs:      s.runner.Execs(),
-		StoreHits:  s.runner.StoreHits(),
-		SweepExecs: s.sweepExecs.Load(),
-		SweepsOpen: s.sweepsActive.Load(),
+		Workers:        s.runner.Workers(),
+		Execs:          s.runner.Execs(),
+		StoreHits:      s.runner.StoreHits(),
+		SweepExecs:     s.sweepExecs.Load(),
+		SweepPredicted: s.sweepPredicted.Load(),
+		SweepsOpen:     s.sweepsActive.Load(),
+		Predictor:      s.predictorStatsZ(),
 	}
 	s.mu.Lock()
 	st.JobsTotal = len(s.jobs)

@@ -24,9 +24,11 @@ type SweepEvent struct {
 	Table   *TableJSON `json:"table,omitempty"`
 	Problem *Problem   `json:"problem,omitempty"`
 	// Done-event counters: how many simulations this sweep actually
-	// executed vs served warm from the disk store.
+	// executed vs served warm from the disk store vs synthesized by the
+	// calibrated predictor ("~"-marked cells).
 	Execs     int64 `json:"execs,omitempty"`
 	StoreHits int64 `json:"store_hits,omitempty"`
+	Predicted int64 `json:"predicted,omitempty"`
 }
 
 // TableJSON is a report.Table in structured form.
@@ -34,10 +36,13 @@ type TableJSON struct {
 	Title   string     `json:"title"`
 	Headers []string   `json:"headers"`
 	Rows    [][]string `json:"rows"`
+	// Note carries the table's trailing annotation line (e.g. the
+	// predicted-cells footer); empty for most tables.
+	Note string `json:"note,omitempty"`
 }
 
 func tableJSON(t *report.Table) *TableJSON {
-	return &TableJSON{Title: t.Title, Headers: t.Headers(), Rows: t.Rows()}
+	return &TableJSON{Title: t.Title, Headers: t.Headers(), Rows: t.Rows(), Note: t.Note}
 }
 
 // handleSweepList returns the sweep registry ids.
@@ -97,6 +102,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	defer func() {
 		s.sweepsActive.Add(-1)
 		s.sweepExecs.Add(rr.Execs())
+		s.sweepPredicted.Add(rr.Predicted())
 	}()
 
 	emit(SweepEvent{Type: "start", Sweep: id})
@@ -107,5 +113,5 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		emit(SweepEvent{Type: "error", Sweep: id, Problem: simProblem(err)})
 	}
-	emit(SweepEvent{Type: "done", Sweep: id, Execs: rr.Execs(), StoreHits: rr.StoreHits()})
+	emit(SweepEvent{Type: "done", Sweep: id, Execs: rr.Execs(), StoreHits: rr.StoreHits(), Predicted: rr.Predicted()})
 }

@@ -19,6 +19,15 @@ type Result struct {
 	TotalCTAs int
 	Kernel    *Kernel
 	Config    Config
+
+	// Predicted marks a Result synthesized by the calibrated analytical
+	// model (internal/predictor) instead of simulated; PredictedErr then
+	// carries the calibration's expected relative error (the fitted
+	// family's MAPE against cycle-sim ground truth). The simulator never
+	// sets these, and predicted results are never persisted to the
+	// on-disk store — only ground truth is content-addressable.
+	Predicted    bool
+	PredictedErr float64
 }
 
 // CyclesPerCTA normalizes runtime for cross-configuration comparison.

@@ -1,0 +1,70 @@
+package sim
+
+// Work is the static instruction and footprint profile of a kernel's
+// simulated CTA prefix: the exact warp-level instruction counts the warp
+// programs will issue (isa.go decodes 2rt A-loads + 2ct B-loads + rt*ct
+// MMAs per k-tile block and rt*ct epilogue stores per warp) and the padded
+// A/B extents those CTAs touch. It is computed without simulating — the
+// analytical predictor (internal/predictor) builds its feature vectors
+// from it — and is exact by construction, not an estimate: the simulator
+// executes precisely these instructions.
+type Work struct {
+	// CTAs is the simulated CTA count (the maxCTAs cap applied the same
+	// way RunContext applies Config.MaxCTAs).
+	CTAs int
+	// Warps counts warps with non-empty programs.
+	Warps int64
+	// Warp-level instruction counts over all simulated CTAs.
+	ALoads, BLoads, MMAs, Stores int64
+	// RowsCovered / ColsCovered are the padded element extents of the A
+	// rows and B columns the simulated prefix touches (compulsory-traffic
+	// footprint; both clamped to MPad / NPad).
+	RowsCovered, ColsCovered int
+}
+
+// Instructions returns the total warp-level instruction count.
+func (w Work) Instructions() int64 { return w.ALoads + w.BLoads + w.MMAs + w.Stores }
+
+// RowLoads converts the macro-op load counts into the row-vector units
+// Stats.TensorLoads is kept in: each wmma.load expands into tileRows row
+// loads (§II-B), and the detection unit sees each row individually.
+func (w Work) RowLoads() int64 { return (w.ALoads + w.BLoads) * tileRows }
+
+// ARowLoads is the A-operand share of RowLoads. Every A row load of a
+// lowered-workspace kernel consults the detection unit, so this is
+// exactly Stats.LHB.Lookups when Duplo is on.
+func (w Work) ARowLoads() int64 { return w.ALoads * tileRows }
+
+// StaticWork profiles the first min(maxCTAs, TotalCTAs) CTAs of the grid
+// (maxCTAs <= 0 profiles the whole grid), mirroring the dispatch order of
+// gpu.go: CTA indices ascend, N-major.
+func (k *Kernel) StaticWork(maxCTAs int) Work {
+	n := k.TotalCTAs()
+	if maxCTAs > 0 && n > maxCTAs {
+		n = maxCTAs
+	}
+	w := Work{CTAs: n}
+	ktiles := int64(k.KTiles())
+	rowMax, colMax := 0, 0
+	for cta := 0; cta < n; cta++ {
+		for warp := 0; warp < warpsPerCTA; warp++ {
+			rt, ct, firstRow, firstCol := k.warpShape(cta, warp)
+			if rt == 0 || ct == 0 {
+				continue
+			}
+			w.Warps++
+			w.ALoads += ktiles * 2 * int64(rt)
+			w.BLoads += ktiles * 2 * int64(ct)
+			w.MMAs += ktiles * int64(rt) * int64(ct)
+			w.Stores += int64(rt) * int64(ct)
+			if r := firstRow + rt*16; r > rowMax {
+				rowMax = r
+			}
+			if c := firstCol + ct*16; c > colMax {
+				colMax = c
+			}
+		}
+	}
+	w.RowsCovered, w.ColsCovered = rowMax, colMax
+	return w
+}

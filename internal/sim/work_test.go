@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"testing"
+
+	duplo "duplo/internal/core"
+)
+
+// TestStaticWorkMatchesSimulation: the static work profile must agree
+// exactly with the simulator's own instruction accounting — it is the
+// predictor's "exact by construction" foundation (DESIGN.md §9).
+func TestStaticWorkMatchesSimulation(t *testing.T) {
+	k, err := NewConvKernel("work", testLayer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	res, err := Run(cfg, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := k.StaticWork(cfg.MaxCTAs)
+	if w.CTAs != res.SimulatedCTAs {
+		t.Errorf("CTAs %d != simulated %d", w.CTAs, res.SimulatedCTAs)
+	}
+	if got := w.RowLoads(); got != res.TensorLoads {
+		t.Errorf("row loads %d != simulated %d", got, res.TensorLoads)
+	}
+	if w.MMAs != res.MMAs {
+		t.Errorf("MMAs %d != simulated %d", w.MMAs, res.MMAs)
+	}
+	if w.Stores != res.Stores {
+		t.Errorf("stores %d != simulated %d", w.Stores, res.Stores)
+	}
+	if w.Instructions() != res.Instructions {
+		t.Errorf("instructions %d != simulated %d", w.Instructions(), res.Instructions)
+	}
+
+	// With Duplo on, every A row load consults the detection unit — the
+	// LHB lookup count is structural, which is why PredictResult derives
+	// it from ARowLoads instead of regressing it.
+	dcfg := cfg
+	dcfg.Duplo = true
+	dcfg.DetectCfg.LHB = duplo.DefaultLHBConfig()
+	dres, err := Run(dcfg, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := uint64(w.ARowLoads()); got != dres.LHB.Lookups {
+		t.Errorf("A row loads %d != simulated LHB lookups %d", got, dres.LHB.Lookups)
+	}
+}
+
+// TestStaticWorkCap: the CTA cap truncates the profile the same way it
+// truncates the dispatch, and 0 means the full grid.
+func TestStaticWorkCap(t *testing.T) {
+	k, err := NewConvKernel("workcap", testLayer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := k.StaticWork(0)
+	if full.CTAs != k.TotalCTAs() {
+		t.Errorf("uncapped CTAs %d != total %d", full.CTAs, k.TotalCTAs())
+	}
+	capped := k.StaticWork(3)
+	if capped.CTAs != 3 {
+		t.Errorf("capped CTAs %d != 3", capped.CTAs)
+	}
+	if capped.Instructions() >= full.Instructions() {
+		t.Errorf("capped instructions %d not below full %d", capped.Instructions(), full.Instructions())
+	}
+	if capped.RowsCovered > full.RowsCovered || capped.ColsCovered > full.ColsCovered {
+		t.Error("capped coverage exceeds full coverage")
+	}
+}

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# bench.sh — measure the predictor fast path against cycle simulation and
+# emit BENCH_predictor.json (repo root; override with OUT=...).
+#
+# Four timed fig9 regenerations tell the whole tiering story:
+#
+#   cold        cycle-sim into an empty store (the ground-truth price)
+#   warm        same store, second run (disk-tier hits, zero sims)
+#   calibrate   `-exp calibrate` over the warm store (fit + artifact)
+#   predicted   `-predict predict-all` with only the calibration artifact —
+#               no result store at all, every cell synthesized
+#
+# plus `go test -bench` over the existing sim-core benchmarks (allocs/op
+# included via -benchmem). No jq or python: timing is date(1)+awk, JSON is
+# printf. Scale and benchtime are env-overridable so CI can run tiny:
+#
+#   CTAS=96 SMS=4 BENCHTIME=1x OUT=BENCH_predictor.json scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CTAS="${CTAS:-96}"
+SMS="${SMS:-4}"
+BENCHTIME="${BENCHTIME:-1x}"
+OUT="${OUT:-BENCH_predictor.json}"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+go build -o "$WORK/duploexp" ./cmd/duploexp
+
+now() { date +%s.%N; }
+run_timed() { # run_timed <args...> -> seconds on stdout
+	local t0 t1
+	t0=$(now)
+	"$WORK/duploexp" "$@" >/dev/null
+	t1=$(now)
+	awk -v a="$t0" -v b="$t1" 'BEGIN{printf "%.3f", b-a}'
+}
+
+STORE="$WORK/store"
+echo "bench: fig9 cold (cycle-sim, empty store, ctas=$CTAS sms=$SMS)" >&2
+COLD=$(run_timed -exp fig9 -ctas "$CTAS" -sms "$SMS" -store "$STORE")
+echo "bench: fig9 cold ${COLD}s" >&2
+
+echo "bench: fig9 warm (disk-store hits)" >&2
+WARM=$(run_timed -exp fig9 -ctas "$CTAS" -sms "$SMS" -store "$STORE")
+echo "bench: fig9 warm ${WARM}s" >&2
+
+echo "bench: calibrate (fit over the warm store)" >&2
+CALIB=$(run_timed -exp calibrate -ctas "$CTAS" -sms "$SMS" -store "$STORE")
+echo "bench: calibrate ${CALIB}s" >&2
+
+ARTIFACT=$(echo "$STORE"/calibration/*.json)
+[ -f "$ARTIFACT" ] || { echo "bench: no calibration artifact under $STORE/calibration" >&2; exit 1; }
+
+echo "bench: fig9 predicted (predict-all, artifact only, no result store)" >&2
+PRED=$(run_timed -exp fig9 -ctas "$CTAS" -sms "$SMS" -predict predict-all -calibration "$ARTIFACT")
+echo "bench: fig9 predicted ${PRED}s" >&2
+
+SPEEDUP=$(awk -v c="$COLD" -v p="$PRED" 'BEGIN{printf "%.1f", c/p}')
+echo "bench: predicted vs cold speedup ${SPEEDUP}x" >&2
+
+echo "bench: go test -bench (sim core, benchtime=$BENCHTIME)" >&2
+BENCH_RAW=$(go test -run='^$' -bench=. -benchmem -benchtime="$BENCHTIME" ./internal/sim/ | grep '^Benchmark' || true)
+
+# Benchmark lines contain no JSON-special characters beyond what we strip
+# (tabs -> spaces); each becomes one string in the go_bench array.
+bench_json() {
+	local first=1 line
+	printf '['
+	while IFS= read -r line; do
+		[ -n "$line" ] || continue
+		line=$(printf '%s' "$line" | tr '\t' ' ' | tr -s ' ')
+		[ "$first" = 1 ] || printf ', '
+		printf '"%s"' "$line"
+		first=0
+	done <<<"$BENCH_RAW"
+	printf ']'
+}
+
+{
+	printf '{\n'
+	printf '  "scale": {"ctas": %s, "sms": %s},\n' "$CTAS" "$SMS"
+	printf '  "fig9_seconds": {"cold": %s, "warm": %s, "calibrate": %s, "predicted": %s},\n' \
+		"$COLD" "$WARM" "$CALIB" "$PRED"
+	printf '  "speedup_cold_over_predicted": %s,\n' "$SPEEDUP"
+	printf '  "go_bench": %s\n' "$(bench_json)"
+	printf '}\n'
+} >"$OUT"
+echo "bench: wrote $OUT" >&2
