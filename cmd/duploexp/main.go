@@ -50,8 +50,21 @@
 //	duploexp -exp fig9 -predict predict-all -store ~/.cache/duplo
 //	duploexp -exp fig9 -predict hybrid -predict-bound 0.10
 //
+// -exp cluster runs the discrete-event cluster serving experiment
+// (DESIGN.md §10): N chips serving Poisson request traffic whose
+// per-request service times come from the cycle-accurate per-layer
+// results, Duplo off vs on, across routing policies and offered loads.
+// -seed fixes the arrival-process RNG (the table is byte-identical across
+// repeated runs and worker counts at a fixed seed). -cluster-timeline
+// writes a Chrome/Perfetto timeline of one serving cell (per-chip batch
+// spans + queue-depth counters) and -cluster-queues its queue-depth CSV;
+// both take the cell from -cluster-load/-cluster-duplo:
+//
+//	duploexp -exp cluster -seed 7 -store ~/.cache/duplo
+//	duploexp -exp none -cluster-timeline cluster.json -cluster-load 0.8
+//
 // Experiments: table1 table2 table3 fig2 fig3 fig9 fig10 fig11 fig12 fig13
-// fig14 energy latency smem cache evict index limits calibrate.
+// fig14 energy latency smem cache evict index limits calibrate cluster.
 package main
 
 import (
@@ -95,6 +108,12 @@ var (
 	predict    = flag.String("predict", "off", "calibrated analytical fast path: off | predict-all | hybrid (predicted cells are marked '~'; see DESIGN.md §9)")
 	predBound  = flag.Float64("predict-bound", 0.15, "hybrid mode's uncertainty bound: predict only when the family's calibrated MAPE is below this (0 = never predict)")
 	calibPath  = flag.String("calibration", "", "calibration artifact path (default: <store>/calibration/<key>.json when -store is set, else in-memory only)")
+
+	seed         = flag.Int64("seed", 0, "serving cluster RNG seed (0 = default 1); fixed seed => byte-identical cluster tables at any worker count")
+	clusterTL    = flag.String("cluster-timeline", "", "write a Chrome/Perfetto timeline of one cluster serving cell to this file")
+	clusterQCSV  = flag.String("cluster-queues", "", "write the cluster cell's queue-depth samples as CSV to this file")
+	clusterLoad  = flag.Float64("cluster-load", 0.8, "offered load of the exported cluster cell, as a fraction of baseline capacity")
+	clusterDuplo = flag.Bool("cluster-duplo", true, "export the cluster cell with Duplo on (false = baseline fleet)")
 )
 
 // errUnknownExperiment preserves the historical exit code 2 for a bad -exp.
@@ -136,7 +155,7 @@ func run(ctx context.Context) error {
 	}
 	opts := experiments.Options{MaxCTAs: *ctas, SimSMs: *simSMs, Workers: *workers, SMWorkers: *smWorkers, Verbose: *verbose,
 		Context: ctx, MaxCycles: *maxCycles, CrashDumpDir: *crashDir,
-		Predictor: mode, PredictBound: *predBound, CalibrationPath: *calibPath}
+		Predictor: mode, PredictBound: *predBound, CalibrationPath: *calibPath, Seed: *seed}
 	if *full {
 		opts.MaxCTAs = 0
 	}
@@ -191,6 +210,10 @@ func run(ctx context.Context) error {
 	if err := traceCellRun(r); err != nil {
 		failed = append(failed, "trace-cell")
 		fmt.Fprintf(os.Stderr, "duploexp: trace-cell: %v\n", err)
+	}
+	if err := clusterCellRun(r); err != nil {
+		failed = append(failed, "cluster-cell")
+		fmt.Fprintf(os.Stderr, "duploexp: cluster-cell: %v\n", err)
 	}
 	if *verbose {
 		cs := r.CacheStats()
@@ -258,5 +281,41 @@ func traceCellRun(r *experiments.Runner) error {
 		fmt.Fprintf(os.Stderr, ", %d events dropped (timeline truncated at the front; interval metrics are exact)", n)
 	}
 	fmt.Fprintln(os.Stderr)
+	return nil
+}
+
+// clusterCellRun exports one cluster serving cell's observability files
+// (-cluster-timeline / -cluster-queues). The cell shares the runner cache
+// with -exp cluster, so combining the two in one invocation simulates
+// each latency table cell once.
+func clusterCellRun(r *experiments.Runner) error {
+	if *clusterTL == "" && *clusterQCSV == "" {
+		return nil
+	}
+	m, err := r.ClusterCell(*clusterLoad, *clusterDuplo)
+	if err != nil {
+		return err
+	}
+	write := func(path string, dump func(io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := dump(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(*clusterTL, m.WriteTimeline); err != nil {
+		return err
+	}
+	if err := write(*clusterQCSV, func(w io.Writer) error { m.QueueDepthTable().CSV(w); return nil }); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cluster cell (load %.1fx, duplo=%v): %s\n", *clusterLoad, *clusterDuplo, m.Summary())
 	return nil
 }

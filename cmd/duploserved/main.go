@@ -14,6 +14,7 @@
 //	curl localhost:8080/v1/runs/r000001
 //	curl -X DELETE localhost:8080/v1/runs/r000001   # cancel
 //	curl localhost:8080/v1/sweeps/fig9              # NDJSON progress stream
+//	curl localhost:8080/v1/sweeps/cluster           # DES cluster serving sweep (-seed fixes the traffic)
 //	curl localhost:8080/healthz
 //	curl localhost:8080/statsz                      # includes the predictor block
 //	curl -X POST localhost:8080/v1/calibrate        # fit/load the predictor calibration
@@ -61,6 +62,7 @@ var (
 	predBound   = flag.Float64("predict-bound", 0.15, "hybrid mode: max predicted relative error before falling back to cycle-sim")
 	calibPath   = flag.String("calibration", "", "calibration artifact path (default: <store>/calibration/<key>.json)")
 	gracePeriod = flag.Duration("grace", 5*time.Second, "shutdown grace period for open connections")
+	seed        = flag.Int64("seed", 0, "serving cluster RNG seed for /v1/sweeps/cluster (0 = default 1)")
 	verbose     = flag.Bool("v", false, "log job progress to stderr")
 )
 
@@ -83,6 +85,7 @@ func run(ctx context.Context) error {
 		MaxCTAs: *ctas, SimSMs: *simSMs, Workers: *workers, SMWorkers: *smWorkers,
 		MaxCycles: *maxCycles, WallTimeout: *wallTimeout, CrashDumpDir: *crashDir,
 		Predictor: mode, PredictBound: *predBound, CalibrationPath: *calibPath,
+		Seed:    *seed,
 		Context: ctx,
 	}
 	if *verbose {

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"duplo/internal/workload"
+)
+
+// clusterTestOptions: one small layer per network keeps the latency-table
+// build cheap while still exercising multi-class serving.
+func clusterTestOptions(tb testing.TB) Options {
+	tb.Helper()
+	var layers []workload.Layer
+	for _, id := range [][2]string{{"ResNet", "C2"}, {"GAN", "TC4"}} {
+		l, err := workload.Find(id[0], id[1])
+		if err != nil {
+			tb.Fatal(err)
+		}
+		layers = append(layers, l)
+	}
+	return Options{MaxCTAs: 8, SimSMs: 2, Layers: layers}
+}
+
+// TestServingLatencies: the table's service times must equal the summed
+// per-layer cycle counts of direct Runner runs, converted at the clock
+// rate — i.e. the helper adds bookkeeping, never arithmetic of its own.
+func TestServingLatencies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	opts := clusterTestOptions(t)
+	r := NewRunner(opts)
+	batches := []int{8, 16}
+	clock := opts.Config().ClockMHz
+	base, dup, err := r.ServingLatencies(opts.layers(), batches, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := base.Classes(); len(got) != 2 {
+		t.Fatalf("expected 2 classes, got %v", got)
+	}
+	for _, l := range opts.layers() {
+		for _, b := range batches {
+			k, err := BatchKernel(l, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := opts.Config()
+			res, err := r.Run(k, cfg) // memoized: same key the helper used
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantBase := res.Cycles * 1000 / int64(clock)
+			gotBase, err := base.ServiceNanos(l.Network, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// One layer per network, so the network sum IS the layer.
+			if gotBase != wantBase {
+				t.Errorf("%s b%d base: table %d ns, direct %d ns", l.Network, b, gotBase, wantBase)
+			}
+			cfg.Duplo = true
+			cfg.DetectCfg.LHB = DefaultLHB
+			resD, err := r.Run(k, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotDup, err := dup.ServiceNanos(l.Network, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wantDup := resD.Cycles * 1000 / int64(clock); gotDup != wantDup {
+				t.Errorf("%s b%d duplo: table %d ns, direct %d ns", l.Network, b, gotDup, wantDup)
+			}
+		}
+	}
+}
+
+// TestServingLatenciesValidation: bad inputs fail fast, before any
+// simulation.
+func TestServingLatenciesValidation(t *testing.T) {
+	r := NewRunner(clusterTestOptions(t))
+	if _, _, err := r.ServingLatencies(r.opts.layers(), nil, 1200); err == nil {
+		t.Error("empty batch list accepted")
+	}
+	if _, _, err := r.ServingLatencies(r.opts.layers(), []int{8}, 0); err == nil {
+		t.Error("zero clock accepted")
+	}
+}
+
+// TestClusterSweepDeterministic: the full cluster table is byte-identical
+// between Workers=1 and Workers=4 at a fixed seed (the DES itself is
+// single-threaded; this gates the latency-table fan-out and assembly),
+// and a different seed changes the traffic.
+func TestClusterSweepDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	render := func(workers int, seed int64) string {
+		opts := clusterTestOptions(t)
+		opts.Workers = workers
+		opts.Seed = seed
+		tb, err := NewRunner(opts).Cluster()
+		if err != nil {
+			t.Fatalf("Workers=%d seed=%d: %v", workers, seed, err)
+		}
+		var b, d int
+		for _, row := range tb.Rows() {
+			switch row[3] {
+			case "B":
+				b++
+			case "D":
+				d++
+			}
+		}
+		if b != 9 || d != 9 {
+			t.Errorf("expected 9 B and 9 D rows (3 policies x 3 loads), got %d/%d:\n%s", b, d, tb)
+		}
+		return tb.String()
+	}
+	serial := render(1, 7)
+	if parallel := render(4, 7); parallel != serial {
+		t.Errorf("cluster table differs between Workers=1 and Workers=4:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+	if again := render(1, 7); again != serial {
+		t.Errorf("cluster table differs between repeated identical runs")
+	}
+	if other := render(1, 8); other == serial {
+		t.Errorf("different seeds produced an identical cluster table")
+	}
+	// Shape: every policy appears, B and D rows pair up, no ERR cells.
+	for _, want := range []string{"rr", "jsq", "least", "seed=7"} {
+		if !strings.Contains(serial, want) {
+			t.Errorf("cluster table missing %q:\n%s", want, serial)
+		}
+	}
+	if strings.Contains(serial, errCell) {
+		t.Errorf("cluster table has ERR cells:\n%s", serial)
+	}
+}
+
+// TestClusterCell: the observability cell records queue samples and batch
+// spans and reuses the sweep's latency cells (warm cache, no new sims).
+func TestClusterCell(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	r := NewRunner(clusterTestOptions(t))
+	m, err := r.ClusterCell(0.8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.QueueSamples) == 0 {
+		t.Error("ClusterCell recorded no queue samples")
+	}
+	if len(m.BatchSpans) == 0 {
+		t.Error("ClusterCell recorded no batch spans")
+	}
+	before := r.CacheStats().Execs
+	if _, err := r.ClusterCell(0.8, false); err != nil {
+		t.Fatal(err)
+	}
+	if after := r.CacheStats().Execs; after != before {
+		t.Errorf("second ClusterCell simulated %d new cells; expected full cache reuse", after-before)
+	}
+}

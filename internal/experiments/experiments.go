@@ -84,6 +84,12 @@ type Options struct {
 	// persisted and loaded ("" = <store dir>/calibration/<keyhash>.json
 	// when a store is attached, else in-memory only).
 	CalibrationPath string
+
+	// Seed seeds the serving cluster experiment's arrival-process RNG
+	// (internal/serving). 0 means the default seed (1); every non-zero
+	// value is used as-is. The cluster table is byte-identical across
+	// repeated runs and worker counts at a fixed seed.
+	Seed int64
 }
 
 // DefaultOptions returns the standard experiment scale.

@@ -243,13 +243,10 @@ func (r *Runner) Fig13() (*report.Table, error) {
 	errs := r.fanOutAll(len(layers)*len(batches), func(idx int) error {
 		li, bi := idx/len(batches), idx%len(batches)
 		l, b := layers[li], batches[bi]
-		lb := l
-		lb.Params = l.Params.WithBatch(b)
-		k, err := LayerKernel(lb)
+		k, err := BatchKernel(l, b)
 		if err != nil {
 			return err
 		}
-		k.Name = fmt.Sprintf("%s@b%d", lb.FullName(), b)
 		cfg := r.opts.config()
 		base, err := r.Run(k, cfg)
 		if err != nil {

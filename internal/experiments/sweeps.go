@@ -44,6 +44,7 @@ func (r *Runner) Sweeps() []Sweep {
 		{"evict", true, r.AblationEviction},
 		{"index", true, r.AblationIndexing},
 		{"calibrate", true, r.FigCalibrate},
+		{"cluster", true, r.Cluster},
 	}
 }
 

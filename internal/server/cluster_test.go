@@ -1,0 +1,82 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"duplo/internal/workload"
+)
+
+// TestServerClusterSweep: the DES cluster serving experiment streams over
+// the same NDJSON contract as the figure sweeps, and two streams at the
+// same seed carry identical tables (the registry route must preserve the
+// experiment's determinism end to end).
+func TestServerClusterSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	opts := quickOpts()
+	l, err := workload.Find("ResNet", "C2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Layers = []workload.Layer{l}
+	opts.Seed = 7
+	_, hs := newTestServer(t, opts, nil)
+
+	stream := func() *TableJSON {
+		resp, err := http.Get(hs.URL + "/v1/sweeps/cluster")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("cluster sweep: status %d", resp.StatusCode)
+		}
+		var table *TableJSON
+		var start, done int
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		for sc.Scan() {
+			var ev SweepEvent
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+			}
+			switch ev.Type {
+			case "start":
+				start++
+			case "table":
+				table = ev.Table
+			case "done":
+				done++
+			case "error":
+				t.Fatalf("cluster sweep streamed an error event: %s", sc.Text())
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if start != 1 || done != 1 || table == nil {
+			t.Fatalf("stream shape: start=%d done=%d table=%v", start, done, table != nil)
+		}
+		return table
+	}
+
+	first := stream()
+	if len(first.Rows) != 18 {
+		t.Fatalf("cluster table rows %d, want 18 (3 policies x 3 loads x B/D)", len(first.Rows))
+	}
+	for _, row := range first.Rows {
+		for _, cell := range row {
+			if cell == "ERR" {
+				t.Fatalf("cluster table has ERR cells: %v", row)
+			}
+		}
+	}
+	if second := stream(); !reflect.DeepEqual(first, second) {
+		t.Fatalf("cluster sweep not deterministic at a fixed seed:\n--- first ---\n%+v\n--- second ---\n%+v", first, second)
+	}
+}

@@ -1,0 +1,124 @@
+package serving
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dist is an inter-arrival time distribution. Sample returns one draw in
+// seconds; Mean is the analytical expectation (used by tests and by load
+// derivations); Validate rejects degenerate parameters with a typed
+// *ParamError before any sampling happens.
+type Dist interface {
+	Sample(r *RNG) float64
+	Mean() float64
+	Validate() error
+	String() string
+}
+
+// ParamError reports a distribution parameter that must be positive but
+// is not. It is a typed error so callers (flag parsing, the HTTP surface)
+// can distinguish configuration mistakes from simulation failures.
+type ParamError struct {
+	Dist  string  // "exponential", "gamma", "weibull"
+	Param string  // "rate", "shape", "scale"
+	Value float64 // the offending value
+}
+
+func (e *ParamError) Error() string {
+	return fmt.Sprintf("serving: %s %s must be positive, got %v", e.Dist, e.Param, e.Value)
+}
+
+// Exponential inter-arrivals form a Poisson arrival process with the
+// given rate (arrivals per second). Mean inter-arrival is 1/Rate; CV 1.
+type Exponential struct {
+	Rate float64
+}
+
+func (d Exponential) Validate() error {
+	if !(d.Rate > 0) {
+		return &ParamError{Dist: "exponential", Param: "rate", Value: d.Rate}
+	}
+	return nil
+}
+
+func (d Exponential) Mean() float64 { return 1 / d.Rate }
+
+func (d Exponential) Sample(r *RNG) float64 {
+	return -math.Log(r.open()) / d.Rate
+}
+
+func (d Exponential) String() string { return fmt.Sprintf("poisson(rate=%g)", d.Rate) }
+
+// Gamma inter-arrivals with the given shape and rate: mean Shape/Rate,
+// CV 1/sqrt(Shape). Shape > 1 models smoother-than-Poisson traffic,
+// Shape < 1 burstier.
+type Gamma struct {
+	Shape float64
+	Rate  float64
+}
+
+func (d Gamma) Validate() error {
+	if !(d.Shape > 0) {
+		return &ParamError{Dist: "gamma", Param: "shape", Value: d.Shape}
+	}
+	if !(d.Rate > 0) {
+		return &ParamError{Dist: "gamma", Param: "rate", Value: d.Rate}
+	}
+	return nil
+}
+
+func (d Gamma) Mean() float64 { return d.Shape / d.Rate }
+
+// Sample draws with the Marsaglia–Tsang squeeze method; shapes below one
+// use the standard boosting identity Gamma(a) = Gamma(a+1) * U^(1/a).
+func (d Gamma) Sample(r *RNG) float64 {
+	shape, boost := d.Shape, 1.0
+	if shape < 1 {
+		boost = math.Pow(r.open(), 1/shape)
+		shape++
+	}
+	dd := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*dd)
+	for {
+		x := r.Norm()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.open()
+		if math.Log(u) < 0.5*x*x+dd-dd*v+dd*math.Log(v) {
+			return boost * dd * v / d.Rate
+		}
+	}
+}
+
+func (d Gamma) String() string { return fmt.Sprintf("gamma(shape=%g,rate=%g)", d.Shape, d.Rate) }
+
+// Weibull inter-arrivals with the given shape and scale: mean
+// Scale*Γ(1+1/Shape). Shape < 1 gives heavy-tailed bursts, shape > 1
+// clusters arrivals around the scale.
+type Weibull struct {
+	Shape float64
+	Scale float64
+}
+
+func (d Weibull) Validate() error {
+	if !(d.Shape > 0) {
+		return &ParamError{Dist: "weibull", Param: "shape", Value: d.Shape}
+	}
+	if !(d.Scale > 0) {
+		return &ParamError{Dist: "weibull", Param: "scale", Value: d.Scale}
+	}
+	return nil
+}
+
+func (d Weibull) Mean() float64 { return d.Scale * math.Gamma(1+1/d.Shape) }
+
+// Sample draws by inverse transform: Scale * (-ln U)^(1/Shape).
+func (d Weibull) Sample(r *RNG) float64 {
+	return d.Scale * math.Pow(-math.Log(r.open()), 1/d.Shape)
+}
+
+func (d Weibull) String() string { return fmt.Sprintf("weibull(shape=%g,scale=%g)", d.Shape, d.Scale) }

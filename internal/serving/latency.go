@@ -1,0 +1,102 @@
+package serving
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LatencyTable maps a request class and a formed batch size to a service
+// time in nanoseconds. The experiments engine fills one from cycle-sim
+// results (Runner → cycles → CyclesToNanos), so the DES's service model is
+// the same validated ground truth the paper's figures render.
+//
+// The table carries a discrete set of batch points per class (the batch
+// sweep's 8/16/32, typically). ServiceNanos rounds a formed batch up to
+// the nearest point at or above it — the conservative choice: a smaller
+// batch never runs faster than the table's next-larger measurement says.
+type LatencyTable struct {
+	classes map[string][]BatchPoint
+}
+
+// BatchPoint is one measured (batch size, service time) cell.
+type BatchPoint struct {
+	Batch int
+	Nanos int64
+}
+
+// NewLatencyTable returns an empty table.
+func NewLatencyTable() *LatencyTable {
+	return &LatencyTable{classes: make(map[string][]BatchPoint)}
+}
+
+// Set records the service time for one (class, batch) cell, replacing any
+// previous value. Points are kept sorted by batch size.
+func (t *LatencyTable) Set(class string, batch int, nanos int64) {
+	pts := t.classes[class]
+	for i := range pts {
+		if pts[i].Batch == batch {
+			pts[i].Nanos = nanos
+			return
+		}
+	}
+	pts = append(pts, BatchPoint{Batch: batch, Nanos: nanos})
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Batch < pts[j].Batch })
+	t.classes[class] = pts
+}
+
+// Classes returns the class names in sorted order.
+func (t *LatencyTable) Classes() []string {
+	out := make([]string, 0, len(t.classes))
+	for c := range t.classes {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Points returns the class's batch points in ascending batch order (nil
+// for an unknown class).
+func (t *LatencyTable) Points(class string) []BatchPoint {
+	return append([]BatchPoint(nil), t.classes[class]...)
+}
+
+// MaxBatch returns the largest measured batch size for the class (0 for
+// an unknown class).
+func (t *LatencyTable) MaxBatch(class string) int {
+	pts := t.classes[class]
+	if len(pts) == 0 {
+		return 0
+	}
+	return pts[len(pts)-1].Batch
+}
+
+// ServiceNanos returns the service time for a batch of the given size:
+// the smallest measured point at or above batch, or the largest point
+// when the batch exceeds every measurement (the table saturates rather
+// than extrapolating). It errors on unknown classes and non-positive
+// batches so a miswired experiment fails loudly instead of serving in
+// zero time.
+func (t *LatencyTable) ServiceNanos(class string, batch int) (int64, error) {
+	if batch <= 0 {
+		return 0, fmt.Errorf("serving: batch must be positive, got %d", batch)
+	}
+	pts := t.classes[class]
+	if len(pts) == 0 {
+		return 0, fmt.Errorf("serving: latency table has no class %q", class)
+	}
+	for _, p := range pts {
+		if p.Batch >= batch {
+			return p.Nanos, nil
+		}
+	}
+	return pts[len(pts)-1].Nanos, nil
+}
+
+// CyclesToNanos converts a cycle count at the given core clock into
+// nanoseconds (integer math, truncating: nanos = cycles*1000/clockMHz).
+func CyclesToNanos(cycles int64, clockMHz int) int64 {
+	if clockMHz <= 0 {
+		return 0
+	}
+	return cycles * 1000 / int64(clockMHz)
+}

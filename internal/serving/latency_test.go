@@ -1,0 +1,66 @@
+package serving
+
+import "testing"
+
+func TestLatencyTableLookup(t *testing.T) {
+	tbl := NewLatencyTable()
+	tbl.Set("ResNet", 16, 1600)
+	tbl.Set("ResNet", 8, 1000)
+	tbl.Set("ResNet", 32, 2500)
+
+	cases := []struct {
+		batch int
+		want  int64
+	}{
+		{1, 1000},  // rounds up to the smallest point
+		{8, 1000},  // exact
+		{9, 1600},  // rounds up
+		{16, 1600}, // exact
+		{17, 2500},
+		{32, 2500},
+		{64, 2500}, // saturates at the largest point
+	}
+	for _, tc := range cases {
+		got, err := tbl.ServiceNanos("ResNet", tc.batch)
+		if err != nil {
+			t.Fatalf("ServiceNanos(ResNet, %d): %v", tc.batch, err)
+		}
+		if got != tc.want {
+			t.Errorf("ServiceNanos(ResNet, %d) = %d, want %d", tc.batch, got, tc.want)
+		}
+	}
+	if _, err := tbl.ServiceNanos("YOLO", 8); err == nil {
+		t.Error("unknown class must error")
+	}
+	if _, err := tbl.ServiceNanos("ResNet", 0); err == nil {
+		t.Error("non-positive batch must error")
+	}
+	if got := tbl.MaxBatch("ResNet"); got != 32 {
+		t.Errorf("MaxBatch = %d, want 32", got)
+	}
+	// Set replaces in place and keeps points sorted.
+	tbl.Set("ResNet", 16, 1700)
+	if got, _ := tbl.ServiceNanos("ResNet", 16); got != 1700 {
+		t.Errorf("replaced point = %d, want 1700", got)
+	}
+	pts := tbl.Points("ResNet")
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Batch <= pts[i-1].Batch {
+			t.Fatalf("points not sorted: %+v", pts)
+		}
+	}
+}
+
+func TestCyclesToNanos(t *testing.T) {
+	// 1200 cycles at 1200 MHz is exactly 1 us.
+	if got := CyclesToNanos(1200, 1200); got != 1000 {
+		t.Errorf("CyclesToNanos(1200, 1200) = %d, want 1000", got)
+	}
+	// Truncating integer math: 1 cycle at 1200 MHz is 0.833 ns -> 0.
+	if got := CyclesToNanos(1, 1200); got != 0 {
+		t.Errorf("CyclesToNanos(1, 1200) = %d, want 0", got)
+	}
+	if got := CyclesToNanos(1000, 0); got != 0 {
+		t.Errorf("zero clock must yield 0, got %d", got)
+	}
+}

@@ -1,0 +1,229 @@
+package serving
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"duplo/internal/report"
+	"duplo/internal/trace"
+)
+
+// ClassMetrics accumulates one request class's traffic accounting.
+// Latencies are request sojourn times: completion minus arrival,
+// queueing and batching delay included.
+type ClassMetrics struct {
+	Name string `json:"name"`
+
+	Offered   int64 `json:"offered"`
+	Admitted  int64 `json:"admitted"`
+	Rejected  int64 `json:"rejected"`
+	Completed int64 `json:"completed"`
+	// Good counts completions within the class SLO (all of them when the
+	// SLO is 0).
+	Good int64 `json:"good"`
+
+	// Latency percentiles in nanoseconds (nearest-rank over completed
+	// requests; 0 when nothing completed).
+	P50Nanos  int64 `json:"p50_nanos"`
+	P95Nanos  int64 `json:"p95_nanos"`
+	P99Nanos  int64 `json:"p99_nanos"`
+	MaxNanos  int64 `json:"max_nanos"`
+	MeanNanos int64 `json:"mean_nanos"`
+
+	latencies []int64
+}
+
+// QueueSample is one queue-depth observation (in-service requests
+// included) — the cluster-level time series.
+type QueueSample struct {
+	AtNanos int64 `json:"at_nanos"`
+	Depths  []int `json:"depths"`
+	Total   int   `json:"total"`
+}
+
+// BatchSpan is one formed batch's service interval on one chip.
+type BatchSpan struct {
+	Chip       int    `json:"chip"`
+	Class      string `json:"class"`
+	Size       int    `json:"size"`
+	StartNanos int64  `json:"start_nanos"`
+	DurNanos   int64  `json:"dur_nanos"`
+}
+
+// Metrics is one cluster simulation's complete result.
+type Metrics struct {
+	Chips        int    `json:"chips"`
+	Policy       string `json:"policy"`
+	Seed         int64  `json:"seed"`
+	HorizonNanos int64  `json:"horizon_nanos"`
+	// MakespanNanos is when the last admitted request completed (>= the
+	// horizon whenever anything was still in flight at it).
+	MakespanNanos int64 `json:"makespan_nanos"`
+
+	// Events counts processed DES events (arrivals + completions +
+	// samples) — the event-loop throughput denominator for benches.
+	Events int64 `json:"events"`
+	// BatchedRequests sums formed batch sizes; BatchedRequests/Batches
+	// ratios above 1 mean batching engaged.
+	BatchedRequests int64 `json:"batched_requests"`
+	Batches         int64 `json:"batches"`
+
+	Offered   int64 `json:"offered"`
+	Admitted  int64 `json:"admitted"`
+	Rejected  int64 `json:"rejected"`
+	Completed int64 `json:"completed"`
+	Good      int64 `json:"good"`
+
+	// OfferedPerSec and GoodputPerSec are rates over the horizon (not the
+	// makespan: the horizon is the window traffic was offered in).
+	OfferedPerSec float64 `json:"offered_per_sec"`
+	GoodputPerSec float64 `json:"goodput_per_sec"`
+
+	// MeanUtilization averages busy-time fractions over chips and the
+	// makespan.
+	MeanUtilization float64 `json:"mean_utilization"`
+
+	// MeanQueueDepth is the time-weighted mean of in-system requests
+	// (queued + in service) over the makespan; MaxQueueDepth is the
+	// deepest any single chip's wait queue got.
+	MeanQueueDepth float64 `json:"mean_queue_depth"`
+	MaxQueueDepth  int     `json:"max_queue_depth"`
+
+	Classes      []ClassMetrics `json:"classes"`
+	QueueSamples []QueueSample  `json:"queue_samples,omitempty"`
+	// BatchSpans is the per-batch activity record (Config.RecordSpans).
+	BatchSpans []BatchSpan `json:"batch_spans,omitempty"`
+
+	chipBusyNanos []int64
+}
+
+func newMetrics(cfg Config) *Metrics {
+	m := &Metrics{
+		Chips:        cfg.Chips,
+		Policy:       cfg.Policy.String(),
+		Seed:         cfg.Seed,
+		HorizonNanos: cfg.HorizonNanos,
+		Classes:      make([]ClassMetrics, len(cfg.Classes)),
+	}
+	for i, cl := range cfg.Classes {
+		m.Classes[i].Name = cl.Name
+	}
+	return m
+}
+
+// finish folds the per-class latency samples into percentiles and the
+// cluster totals. All reductions run in class/chip index order, so the
+// finished metrics are a pure function of the config.
+func (m *Metrics) finish(makespan int64) {
+	if makespan < m.HorizonNanos {
+		makespan = m.HorizonNanos
+	}
+	m.MakespanNanos = makespan
+	for i := range m.Classes {
+		c := &m.Classes[i]
+		m.Offered += c.Offered
+		m.Admitted += c.Admitted
+		m.Rejected += c.Rejected
+		m.Completed += c.Completed
+		m.Good += c.Good
+		if len(c.latencies) == 0 {
+			continue
+		}
+		sort.Slice(c.latencies, func(a, b int) bool { return c.latencies[a] < c.latencies[b] })
+		var sum int64
+		for _, v := range c.latencies {
+			sum += v
+		}
+		c.P50Nanos = percentile(c.latencies, 0.50)
+		c.P95Nanos = percentile(c.latencies, 0.95)
+		c.P99Nanos = percentile(c.latencies, 0.99)
+		c.MaxNanos = c.latencies[len(c.latencies)-1]
+		c.MeanNanos = sum / int64(len(c.latencies))
+		c.latencies = nil
+	}
+	horizonSec := float64(m.HorizonNanos) / 1e9
+	m.OfferedPerSec = float64(m.Offered) / horizonSec
+	m.GoodputPerSec = float64(m.Good) / horizonSec
+	var busy float64
+	for _, b := range m.chipBusyNanos {
+		busy += float64(b)
+	}
+	if m.Chips > 0 && makespan > 0 {
+		m.MeanUtilization = busy / (float64(makespan) * float64(m.Chips))
+	}
+}
+
+// percentile is the nearest-rank percentile of an ascending-sorted slice.
+func percentile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.9999999) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Ms converts nanoseconds to milliseconds for rendering.
+func Ms(nanos int64) float64 { return float64(nanos) / 1e6 }
+
+// QueueDepthTable renders the queue-depth time series as a report.Table
+// (CSV-exportable via report.Table.CSV): one row per sample, one column
+// per chip plus the total.
+func (m *Metrics) QueueDepthTable() *report.Table {
+	headers := []string{"t_ms"}
+	for i := 0; i < m.Chips; i++ {
+		headers = append(headers, fmt.Sprintf("chip%d", i))
+	}
+	headers = append(headers, "total")
+	t := report.NewTable(fmt.Sprintf("Queue depth over time (%d chips, policy=%s, seed=%d)", m.Chips, m.Policy, m.Seed), headers...)
+	for _, s := range m.QueueSamples {
+		row := []string{fmt.Sprintf("%.3f", Ms(s.AtNanos))}
+		for _, d := range s.Depths {
+			row = append(row, fmt.Sprint(d))
+		}
+		row = append(row, fmt.Sprint(s.Total))
+		t.AddRowCells(row)
+	}
+	return t
+}
+
+// WriteTimeline exports the cluster run as a Chrome trace-event /
+// Perfetto timeline through the shared internal/trace span vocabulary:
+// one track per chip carrying its batch spans (Config.RecordSpans), plus
+// queue-depth counter tracks from the sampled series
+// (Config.SampleEveryNanos). Timestamps are ns/1000 of simulated time,
+// so 1 us of trace time = 1 us simulated; only relative durations are
+// meaningful.
+func (m *Metrics) WriteTimeline(w io.Writer) error {
+	tl := trace.NewTimeline("duplo-serving")
+	tracks := make([]int, m.Chips)
+	for i := range tracks {
+		tracks[i] = tl.Track(fmt.Sprintf("chip %d", i))
+	}
+	for _, b := range m.BatchSpans {
+		tl.SpanArg(tracks[b.Chip], fmt.Sprintf("%s x%d", b.Class, b.Size),
+			b.StartNanos/1000, b.DurNanos/1000, "batch_size", int64(b.Size))
+	}
+	for _, s := range m.QueueSamples {
+		ts := s.AtNanos / 1000
+		for i, d := range s.Depths {
+			tl.Counter(fmt.Sprintf("chip%d depth", i), ts, float64(d))
+		}
+		tl.Counter("total depth", ts, float64(s.Total))
+	}
+	return tl.Write(w)
+}
+
+// Summary renders the cluster totals as one deterministic line (the
+// determinism tests compare these byte-for-byte).
+func (m *Metrics) Summary() string {
+	return fmt.Sprintf("chips=%d policy=%s seed=%d offered=%d admitted=%d rejected=%d completed=%d good=%d goodput=%.3f/s util=%.4f events=%d batches=%d batched=%d",
+		m.Chips, m.Policy, m.Seed, m.Offered, m.Admitted, m.Rejected, m.Completed, m.Good,
+		m.GoodputPerSec, m.MeanUtilization, m.Events, m.Batches, m.BatchedRequests)
+}

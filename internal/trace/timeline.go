@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Timeline builds a Chrome trace-event / Perfetto JSON file from generic
+// spans and counter samples — the same wire vocabulary WritePerfetto
+// emits for simulator runs, reusable by other subsystems (the serving
+// DES exports cluster queue depths and per-chip batch spans through it).
+// Events are written in insertion order, so a deterministic producer
+// yields a byte-identical file. Load the output at ui.perfetto.dev.
+type Timeline struct {
+	process string
+	tracks  []string // tid -> track name, in registration order
+	events  []timelineEvent
+}
+
+type timelineEvent struct {
+	// span events carry tid/name/ts/dur; counter events carry name/ts/val.
+	counter   bool
+	tid       int
+	name      string
+	ts, dur   int64
+	val       float64
+	argName   string
+	argValue  int64
+	hasIntArg bool
+}
+
+// NewTimeline starts a timeline for the named process.
+func NewTimeline(process string) *Timeline {
+	return &Timeline{process: process}
+}
+
+// Track registers a named track (a "thread" row in the UI) and returns
+// its id for Span calls.
+func (t *Timeline) Track(name string) int {
+	t.tracks = append(t.tracks, name)
+	return len(t.tracks) - 1
+}
+
+// Span adds one complete span to a track. Timestamps and durations are in
+// the trace-event unit (microseconds in the UI; only relative durations
+// are meaningful).
+func (t *Timeline) Span(track int, name string, ts, dur int64) {
+	t.events = append(t.events, timelineEvent{tid: track, name: name, ts: ts, dur: dur})
+}
+
+// SpanArg is Span with one integer argument rendered in the UI's detail
+// pane.
+func (t *Timeline) SpanArg(track int, name string, ts, dur int64, argName string, argValue int64) {
+	t.events = append(t.events, timelineEvent{tid: track, name: name, ts: ts, dur: dur,
+		argName: argName, argValue: argValue, hasIntArg: true})
+}
+
+// Counter adds one sample to a named counter track.
+func (t *Timeline) Counter(name string, ts int64, val float64) {
+	t.events = append(t.events, timelineEvent{counter: true, name: name, ts: ts, val: val})
+}
+
+// Write emits the timeline as trace-event JSON.
+func (t *Timeline) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
+	fmt.Fprintf(bw, "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\"args\":{\"name\":%q}}", t.process)
+	for tid, name := range t.tracks {
+		fmt.Fprintf(bw, ",\n{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":%q}}", tid, name)
+	}
+	for _, e := range t.events {
+		switch {
+		case e.counter:
+			fmt.Fprintf(bw, ",\n{\"ph\":\"C\",\"pid\":0,\"ts\":%d,\"name\":%q,\"args\":{\"value\":%s}}",
+				e.ts, e.name, jsonFloat(e.val))
+		case e.hasIntArg:
+			fmt.Fprintf(bw, ",\n{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%d,\"dur\":%d,\"name\":%q,\"args\":{%q:%d}}",
+				e.tid, e.ts, e.dur, e.name, e.argName, e.argValue)
+		default:
+			fmt.Fprintf(bw, ",\n{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%d,\"dur\":%d,\"name\":%q}",
+				e.tid, e.ts, e.dur, e.name)
+		}
+	}
+	fmt.Fprintf(bw, "\n]}\n")
+	return bw.Flush()
+}

@@ -15,6 +15,13 @@
 # printf. Scale and benchtime are env-overridable so CI can run tiny:
 #
 #   CTAS=96 SMS=4 BENCHTIME=1x OUT=BENCH_predictor.json scripts/bench.sh
+#
+# A second section measures the cluster serving simulator's raw DES
+# throughput (BenchmarkClusterEventLoop, events/s) and writes
+# BENCH_serving.json (override with SERVING_OUT=...). SKIP_PREDICTOR=1
+# skips the predictor section so the serving bench can run alone:
+#
+#   SKIP_PREDICTOR=1 SERVING_BENCHTIME=2s scripts/bench.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,9 +29,51 @@ CTAS="${CTAS:-96}"
 SMS="${SMS:-4}"
 BENCHTIME="${BENCHTIME:-1x}"
 OUT="${OUT:-BENCH_predictor.json}"
+SERVING_OUT="${SERVING_OUT:-BENCH_serving.json}"
+SERVING_BENCHTIME="${SERVING_BENCHTIME:-$BENCHTIME}"
 
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
+
+# Benchmark lines contain no JSON-special characters beyond what we strip
+# (tabs -> spaces); each becomes one string in a JSON array.
+bench_json() { # bench_json <<<"$RAW"
+	local first=1 line
+	printf '['
+	while IFS= read -r line; do
+		[ -n "$line" ] || continue
+		line=$(printf '%s' "$line" | tr '\t' ' ' | tr -s ' ')
+		[ "$first" = 1 ] || printf ', '
+		printf '"%s"' "$line"
+		first=0
+	done
+	printf ']'
+}
+
+serving_bench() {
+	echo "bench: serving DES event loop (benchtime=$SERVING_BENCHTIME)" >&2
+	local raw events
+	raw=$(go test -run='^$' -bench=BenchmarkClusterEventLoop -benchmem -benchtime="$SERVING_BENCHTIME" ./internal/serving/ | grep '^Benchmark' || true)
+	[ -n "$raw" ] || { echo "bench: BenchmarkClusterEventLoop produced no output" >&2; exit 1; }
+	# The bench reports "<N> events/s"; take the last run's figure.
+	events=$(printf '%s\n' "$raw" | awk '{for (i=1; i<NF; i++) if ($(i+1) == "events/s") v=$i} END{print v}')
+	[ -n "$events" ] || { echo "bench: no events/s metric in: $raw" >&2; exit 1; }
+	echo "bench: serving DES $events events/s" >&2
+	{
+		printf '{\n'
+		printf '  "des_events_per_sec": %s,\n' "$events"
+		printf '  "go_bench": %s\n' "$(bench_json <<<"$raw")"
+		printf '}\n'
+	} >"$SERVING_OUT"
+	echo "bench: wrote $SERVING_OUT" >&2
+}
+
+serving_bench
+if [ "${SKIP_PREDICTOR:-0}" = 1 ]; then
+	echo "bench: SKIP_PREDICTOR=1, done" >&2
+	exit 0
+fi
+
 go build -o "$WORK/duploexp" ./cmd/duploexp
 
 now() { date +%s.%N; }
@@ -62,28 +111,13 @@ echo "bench: predicted vs cold speedup ${SPEEDUP}x" >&2
 echo "bench: go test -bench (sim core, benchtime=$BENCHTIME)" >&2
 BENCH_RAW=$(go test -run='^$' -bench=. -benchmem -benchtime="$BENCHTIME" ./internal/sim/ | grep '^Benchmark' || true)
 
-# Benchmark lines contain no JSON-special characters beyond what we strip
-# (tabs -> spaces); each becomes one string in the go_bench array.
-bench_json() {
-	local first=1 line
-	printf '['
-	while IFS= read -r line; do
-		[ -n "$line" ] || continue
-		line=$(printf '%s' "$line" | tr '\t' ' ' | tr -s ' ')
-		[ "$first" = 1 ] || printf ', '
-		printf '"%s"' "$line"
-		first=0
-	done <<<"$BENCH_RAW"
-	printf ']'
-}
-
 {
 	printf '{\n'
 	printf '  "scale": {"ctas": %s, "sms": %s},\n' "$CTAS" "$SMS"
 	printf '  "fig9_seconds": {"cold": %s, "warm": %s, "calibrate": %s, "predicted": %s},\n' \
 		"$COLD" "$WARM" "$CALIB" "$PRED"
 	printf '  "speedup_cold_over_predicted": %s,\n' "$SPEEDUP"
-	printf '  "go_bench": %s\n' "$(bench_json)"
+	printf '  "go_bench": %s\n' "$(bench_json <<<"$BENCH_RAW")"
 	printf '}\n'
 } >"$OUT"
 echo "bench: wrote $OUT" >&2
