@@ -29,6 +29,10 @@
 // may tighten its own via max_cycles / wall_timeout_ms). Ctrl-C/SIGTERM
 // drains: in-flight jobs are cancelled (clients see the typed
 // "cancelled" error) and open connections get a grace period to finish.
+//
+// -cpuprofile / -memprofile write pprof profiles of the daemon itself
+// (flushed on clean shutdown) — the same flags duplosim and duploexp
+// take, for performance work on the serving path.
 package main
 
 import (
@@ -44,6 +48,7 @@ import (
 	"time"
 
 	"duplo/internal/experiments"
+	"duplo/internal/profiling"
 	"duplo/internal/server"
 	"duplo/internal/store"
 )
@@ -64,13 +69,22 @@ var (
 	gracePeriod = flag.Duration("grace", 5*time.Second, "shutdown grace period for open connections")
 	seed        = flag.Int64("seed", 0, "serving cluster RNG seed for /v1/sweeps/cluster (0 = default 1)")
 	verbose     = flag.Bool("v", false, "log job progress to stderr")
+	cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the daemon to this file on exit")
+	memprofile  = flag.String("memprofile", "", "write a heap profile of the daemon to this file on exit")
 )
 
 func main() {
 	flag.Parse()
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
-	if err := run(ctx); err != nil {
+	stop, err := profiling.Start(*cpuprofile, *memprofile)
+	if err == nil {
+		err = run(ctx)
+		if e := stop(); err == nil {
+			err = e
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "duploserved:", err)
 		os.Exit(1)
 	}

@@ -71,6 +71,7 @@ var (
 	maxCycles  = flag.Int64("max-cycles", 0, "abort either simulation past this many cycles (0 = simulator default)")
 	crashDir   = flag.String("crash-dir", "", "directory for watchdog/panic crash dumps (default: system temp dir)")
 	storeDir   = flag.String("store", "", "directory of the on-disk result store (warm-starts identical runs; created if missing)")
+	noPool     = flag.Bool("no-pool", false, "disable simulator-state reuse between the baseline and Duplo runs (results identical either way)")
 	predict    = flag.String("predict", "off", "calibrated analytical fast path: off | predict-all | hybrid (predicted stats are labeled; see DESIGN.md §9)")
 	predBound  = flag.Float64("predict-bound", 0.15, "hybrid mode's uncertainty bound (0 = never predict)")
 	calibPath  = flag.String("calibration", "", "calibration artifact path (default: <store>/calibration/<key>.json when -store is set, else in-memory only)")
@@ -147,7 +148,7 @@ func run(ctx context.Context) error {
 		return err
 	}
 	ropts := experiments.Options{MaxCTAs: *ctas, SimSMs: *simSMs, Workers: *workers, SMWorkers: *smWorkers, Context: ctx,
-		MaxCycles: *maxCycles, WallTimeout: *timeout, CrashDumpDir: *crashDir,
+		MaxCycles: *maxCycles, WallTimeout: *timeout, CrashDumpDir: *crashDir, DisableStatePool: *noPool,
 		Predictor: mode, PredictBound: *predBound, CalibrationPath: *calibPath}
 	if mode != experiments.PredictorOff {
 		// Prediction engages only inside the runner's calibrated envelope, so

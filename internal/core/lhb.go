@@ -73,6 +73,9 @@ func (s LHBStats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Lookups)
 }
 
+// noEntry terminates the intrusive per-instruction user chains.
+const noEntry = int32(-1)
+
 type lhbEntry struct {
 	valid bool
 	tag   uint64 // elementID upper bits ++ batchID ++ PID (§IV-B)
@@ -83,21 +86,34 @@ type lhbEntry struct {
 	// released when that instruction retires (§IV-B / §V-C).
 	lastUser uint64
 	lru      uint64 // generation counter for set-associative replacement
+	// nextUser links the entries owned by the same lastUser into an
+	// intrusive singly-linked chain (head in LHB.userHead). Chains replace
+	// the per-sequence []int slices the release index used to allocate on
+	// every tracked access — the release relation is exactly the inverse of
+	// lastUser, so it lives inside the slab for free. Chains are short (at
+	// most the rows of one macro-op), so unlink's linear walk is cheap.
+	nextUser int32
 }
 
 // LHB is the load history buffer (Fig. 8): a small SRAM indexed by the low
 // bits of the element ID, tagged with the remaining ID bits, holding the
 // physical register that contains each recently loaded unique datum.
+//
+// Storage is a single entry slab in both modes. The set-associative mode
+// (hardware design point) uses a fixed sets*ways slab; oracle mode grows the
+// slab on demand and recycles slots through a free list, with a key->slot
+// map standing in for the tag match. Retire-based release walks the
+// intrusive lastUser chain — no per-access heap allocation on any path.
 type LHB struct {
 	cfg      LHBConfig
 	sets     int
 	idxMask  uint32
 	idxBits  uint
 	pid      uint32
-	entries  []lhbEntry           // sets*ways, set-major
-	oracle   map[uint64]*lhbEntry // Oracle mode storage
-	userIdx  map[uint64][]int     // instrSeq -> entry indices awaiting retire
-	oUserIdx map[uint64][]uint64  // instrSeq -> oracle keys awaiting retire
+	entries  []lhbEntry       // set-assoc: sets*ways fixed; oracle: grown slab
+	oracle   map[uint64]int32 // oracle mode: key -> slab slot
+	oFree    []int32          // oracle mode: recycled slab slots
+	userHead map[uint64]int32 // instrSeq -> head of its user chain
 	clock    uint64
 	Stats    LHBStats
 }
@@ -108,18 +124,35 @@ func NewLHB(cfg LHBConfig, pid uint32) (*LHB, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	l := &LHB{cfg: cfg, pid: pid}
+	l := &LHB{cfg: cfg, pid: pid, userHead: make(map[uint64]int32)}
 	if cfg.Oracle {
-		l.oracle = make(map[uint64]*lhbEntry)
-		l.oUserIdx = make(map[uint64][]uint64)
+		l.oracle = make(map[uint64]int32)
 		return l, nil
 	}
 	l.sets = cfg.Entries / cfg.Ways
 	l.idxBits = uint(bits.TrailingZeros(uint(l.sets)))
 	l.idxMask = uint32(l.sets - 1)
 	l.entries = make([]lhbEntry, cfg.Entries)
-	l.userIdx = make(map[uint64][]int)
 	return l, nil
+}
+
+// Reset returns the buffer to its just-built state — counters zeroed, every
+// entry invalid, the user chains and oracle storage empty — reusing all
+// backing storage. The arena/pool reuse protocol (sim.Arena) depends on a
+// reset buffer behaving byte-identically to a fresh NewLHB.
+func (l *LHB) Reset() {
+	l.Stats = LHBStats{}
+	l.clock = 0
+	clear(l.userHead)
+	if l.cfg.Oracle {
+		l.entries = l.entries[:0]
+		l.oFree = l.oFree[:0]
+		clear(l.oracle)
+		return
+	}
+	for i := range l.entries {
+		l.entries[i] = lhbEntry{}
+	}
 }
 
 // key packs the full identity (element ID, batch ID, PID) for oracle mode
@@ -151,6 +184,48 @@ func (l *LHB) tag(id ID) uint64 {
 	return uint64(id.Elem) | uint64(id.Batch)<<32 | uint64(l.pid)<<42
 }
 
+// pushUser prepends slab slot i to instrSeq's user chain.
+func (l *LHB) pushUser(instrSeq uint64, i int32) {
+	if head, ok := l.userHead[instrSeq]; ok {
+		l.entries[i].nextUser = head
+	} else {
+		l.entries[i].nextUser = noEntry
+	}
+	l.userHead[instrSeq] = i
+}
+
+// unlinkUser removes slab slot i from its lastUser chain. Chains hold the
+// few rows of one instruction, so the predecessor walk is short.
+func (l *LHB) unlinkUser(i int32) {
+	e := &l.entries[i]
+	head := l.userHead[e.lastUser]
+	if head == i {
+		if e.nextUser == noEntry {
+			delete(l.userHead, e.lastUser)
+		} else {
+			l.userHead[e.lastUser] = e.nextUser
+		}
+		return
+	}
+	p := head
+	for l.entries[p].nextUser != i {
+		p = l.entries[p].nextUser
+	}
+	l.entries[p].nextUser = e.nextUser
+}
+
+// moveUser re-homes slab slot i from its previous lastUser chain to
+// instrSeq (the relay of §IV-B).
+func (l *LHB) moveUser(i int32, instrSeq uint64) {
+	e := &l.entries[i]
+	if e.lastUser == instrSeq {
+		return
+	}
+	l.unlinkUser(i)
+	e.lastUser = instrSeq
+	l.pushUser(instrSeq, i)
+}
+
 // Lookup consults the buffer for id on behalf of the tensor-core-load with
 // sequence number instrSeq. On a hit it returns the physical register
 // already holding the datum and extends the entry's lifetime to instrSeq
@@ -159,23 +234,26 @@ func (l *LHB) Lookup(id ID, instrSeq uint64) (PhysReg, int64, bool) {
 	l.Stats.Lookups++
 	l.clock++
 	if l.cfg.Oracle {
-		e, ok := l.oracle[l.key(id)]
+		i, ok := l.oracle[l.key(id)]
 		if !ok {
 			l.Stats.Misses++
 			return InvalidReg, 0, false
 		}
 		l.Stats.Hits++
-		l.relayOracle(e, l.key(id), instrSeq)
+		l.Stats.Relays++
+		l.moveUser(i, instrSeq)
+		e := &l.entries[i]
 		return e.reg, e.meta, true
 	}
 	set := l.index(id)
 	t := l.tag(id)
 	for w := 0; w < l.cfg.Ways; w++ {
-		e := &l.entries[set*l.cfg.Ways+w]
+		i := int32(set*l.cfg.Ways + w)
+		e := &l.entries[i]
 		if e.valid && e.tag == t {
 			l.Stats.Hits++
 			l.Stats.Relays++
-			l.moveUser(set*l.cfg.Ways+w, e, instrSeq)
+			l.moveUser(i, instrSeq)
 			e.lru = l.clock
 			return e.reg, e.meta, true
 		}
@@ -193,20 +271,28 @@ func (l *LHB) Insert(id ID, reg PhysReg, instrSeq uint64, meta int64) {
 	l.clock++
 	if l.cfg.Oracle {
 		k := l.key(id)
+		var i int32
 		if old, ok := l.oracle[k]; ok {
-			l.removeOracleUser(old, k)
+			l.unlinkUser(old)
+			i = old
+		} else if n := len(l.oFree); n > 0 {
+			i = l.oFree[n-1]
+			l.oFree = l.oFree[:n-1]
+		} else {
+			l.entries = append(l.entries, lhbEntry{})
+			i = int32(len(l.entries) - 1)
 		}
-		e := &lhbEntry{valid: true, tag: k, reg: reg, meta: meta, lastUser: instrSeq}
-		l.oracle[k] = e
-		l.oUserIdx[instrSeq] = append(l.oUserIdx[instrSeq], k)
+		l.entries[i] = lhbEntry{valid: true, tag: k, reg: reg, meta: meta, lastUser: instrSeq}
+		l.oracle[k] = i
+		l.pushUser(instrSeq, i)
 		return
 	}
 	set := l.index(id)
 	t := l.tag(id)
-	victim := -1
+	victim := int32(-1)
 	var oldest uint64 = ^uint64(0)
 	for w := 0; w < l.cfg.Ways; w++ {
-		i := set*l.cfg.Ways + w
+		i := int32(set*l.cfg.Ways + w)
 		e := &l.entries[i]
 		if !e.valid {
 			victim = i
@@ -220,10 +306,10 @@ func (l *LHB) Insert(id ID, reg PhysReg, instrSeq uint64, meta int64) {
 	e := &l.entries[victim]
 	if e.valid {
 		l.Stats.Replacements++
-		l.removeUser(victim, e)
+		l.unlinkUser(victim)
 	}
 	*e = lhbEntry{valid: true, tag: t, reg: reg, meta: meta, lastUser: instrSeq, lru: l.clock}
-	l.userIdx[instrSeq] = append(l.userIdx[instrSeq], victim)
+	l.pushUser(instrSeq, victim)
 }
 
 // Retire signals that the tensor-core-load with sequence number instrSeq has
@@ -234,24 +320,24 @@ func (l *LHB) Retire(instrSeq uint64) {
 	if l.cfg.NeverEvict {
 		return
 	}
-	if l.cfg.Oracle {
-		for _, k := range l.oUserIdx[instrSeq] {
-			if e, ok := l.oracle[k]; ok && e.lastUser == instrSeq {
-				delete(l.oracle, k)
-				l.Stats.Releases++
-			}
-		}
-		delete(l.oUserIdx, instrSeq)
+	head, ok := l.userHead[instrSeq]
+	if !ok {
 		return
 	}
-	for _, i := range l.userIdx[instrSeq] {
+	// Every chain member has lastUser == instrSeq by the unlink discipline
+	// (Insert/Lookup/StoreInvalidate re-home or unlink entries eagerly).
+	for i := head; i != noEntry; {
 		e := &l.entries[i]
-		if e.valid && e.lastUser == instrSeq {
-			e.valid = false
-			l.Stats.Releases++
+		next := e.nextUser
+		e.valid = false
+		if l.cfg.Oracle {
+			delete(l.oracle, e.tag)
+			l.oFree = append(l.oFree, i)
 		}
+		l.Stats.Releases++
+		i = next
 	}
-	delete(l.userIdx, instrSeq)
+	delete(l.userHead, instrSeq)
 }
 
 // StoreInvalidate releases the entry matching id, if any — the consistency
@@ -260,9 +346,11 @@ func (l *LHB) Retire(instrSeq uint64) {
 func (l *LHB) StoreInvalidate(id ID) {
 	if l.cfg.Oracle {
 		k := l.key(id)
-		if e, ok := l.oracle[k]; ok {
-			l.removeOracleUser(e, k)
+		if i, ok := l.oracle[k]; ok {
+			l.unlinkUser(i)
 			delete(l.oracle, k)
+			l.entries[i].valid = false
+			l.oFree = append(l.oFree, i)
 			l.Stats.StoreEvicts++
 		}
 		return
@@ -270,10 +358,10 @@ func (l *LHB) StoreInvalidate(id ID) {
 	set := l.index(id)
 	t := l.tag(id)
 	for w := 0; w < l.cfg.Ways; w++ {
-		i := set*l.cfg.Ways + w
+		i := int32(set*l.cfg.Ways + w)
 		e := &l.entries[i]
 		if e.valid && e.tag == t {
-			l.removeUser(i, e)
+			l.unlinkUser(i)
 			e.valid = false
 			l.Stats.StoreEvicts++
 		}
@@ -297,59 +385,11 @@ func (l *LHB) Live() int {
 // Config returns the buffer's configuration.
 func (l *LHB) Config() LHBConfig { return l.cfg }
 
-// moveUser re-homes entry i from its previous lastUser list to instrSeq.
-func (l *LHB) moveUser(i int, e *lhbEntry, instrSeq uint64) {
-	if e.lastUser == instrSeq {
-		return
-	}
-	l.removeUser(i, e)
-	e.lastUser = instrSeq
-	l.userIdx[instrSeq] = append(l.userIdx[instrSeq], i)
-}
-
-func (l *LHB) removeUser(i int, e *lhbEntry) {
-	lst := l.userIdx[e.lastUser]
-	for j, v := range lst {
-		if v == i {
-			lst[j] = lst[len(lst)-1]
-			l.userIdx[e.lastUser] = lst[:len(lst)-1]
-			break
-		}
-	}
-	if len(l.userIdx[e.lastUser]) == 0 {
-		delete(l.userIdx, e.lastUser)
-	}
-}
-
-func (l *LHB) relayOracle(e *lhbEntry, k uint64, instrSeq uint64) {
-	l.Stats.Relays++
-	if e.lastUser == instrSeq {
-		return
-	}
-	l.removeOracleUser(e, k)
-	e.lastUser = instrSeq
-	l.oUserIdx[instrSeq] = append(l.oUserIdx[instrSeq], k)
-}
-
-func (l *LHB) removeOracleUser(e *lhbEntry, k uint64) {
-	lst := l.oUserIdx[e.lastUser]
-	for j, v := range lst {
-		if v == k {
-			lst[j] = lst[len(lst)-1]
-			l.oUserIdx[e.lastUser] = lst[:len(lst)-1]
-			break
-		}
-	}
-	if len(l.oUserIdx[e.lastUser]) == 0 {
-		delete(l.oUserIdx, e.lastUser)
-	}
-}
-
 // SetMeta updates the metadata of the live entry mapping id, if present.
 func (l *LHB) SetMeta(id ID, meta int64) {
 	if l.cfg.Oracle {
-		if e, ok := l.oracle[l.key(id)]; ok {
-			e.meta = meta
+		if i, ok := l.oracle[l.key(id)]; ok {
+			l.entries[i].meta = meta
 		}
 		return
 	}

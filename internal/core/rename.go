@@ -88,6 +88,18 @@ func (t *RenameTable) SharedWith(r PhysReg) int { return t.refs[r] }
 // scheme saves compared to Allocs.
 func (t *RenameTable) LivePhysRegs() int { return len(t.refs) }
 
+// Reset returns the table to its just-built state, reusing the backing
+// array and the refs map (sim.Arena reuse protocol).
+func (t *RenameTable) Reset() {
+	for i := range t.table {
+		t.table[i] = InvalidReg
+	}
+	clear(t.refs)
+	t.next = 0
+	t.Renames = 0
+	t.Allocs = 0
+}
+
 func (t *RenameTable) release(r PhysReg) {
 	if r == InvalidReg {
 		return

@@ -85,6 +85,13 @@ type Options struct {
 	// when a store is attached, else in-memory only).
 	CalibrationPath string
 
+	// DisableStatePool turns off per-worker simulator-state reuse: every
+	// simulation then builds its memory system, SM states and detection
+	// units from scratch (the pre-pool behavior). Results are byte-identical
+	// either way — the pooled-vs-fresh differential tests assert it — so
+	// this exists for benchmarking the pool's effect and as an escape hatch.
+	DisableStatePool bool
+
 	// Seed seeds the serving cluster experiment's arrival-process RNG
 	// (internal/serving). 0 means the default seed (1); every non-zero
 	// value is used as-is. The cluster table is byte-identical across

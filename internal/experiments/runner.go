@@ -33,9 +33,17 @@ type Runner struct {
 	sink    *report.Sink    // nil unless Verbose
 	ctx     context.Context // cancels in-flight and future simulations
 
-	// simFn executes one simulation (sim.RunContext). It is a seam the
-	// robustness tests override to inject deterministic per-cell failures.
-	simFn func(context.Context, sim.Config, *sim.Kernel) (sim.Result, error)
+	// simFn executes one simulation (sim.RunPooledContext; the arena is nil
+	// when state pooling is disabled). It is a seam the robustness tests
+	// override to inject deterministic per-cell failures.
+	simFn func(context.Context, sim.Config, *sim.Kernel, *sim.Arena) (sim.Result, error)
+
+	// arenas pools per-run simulator state across the sweep's cells
+	// (sim.Arena): an executing simulation takes one arena, runs with it,
+	// and returns it, so at most Workers arenas exist and each is reused by
+	// whichever cell executes next. Arenas self-invalidate on failed runs,
+	// making the recycle unconditional. nil when Options.DisableStatePool.
+	arenas *sync.Pool
 
 	// store is the optional on-disk second cache tier (Options.Store): a
 	// memoization miss consults it before simulating, and successful runs
@@ -85,16 +93,20 @@ func NewRunner(opts Options) *Runner {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &Runner{
+	r := &Runner{
 		opts:    opts,
 		workers: w,
 		sem:     make(chan struct{}, w),
 		sink:    sink,
 		ctx:     ctx,
-		simFn:   sim.RunContext,
+		simFn:   sim.RunPooledContext,
 		store:   opts.Store,
 		cache:   make(map[string]*cacheEntry),
 	}
+	if !opts.DisableStatePool {
+		r.arenas = &sync.Pool{New: func() interface{} { return sim.NewArena() }}
+	}
+	return r
 }
 
 // Workers returns the pool size.
@@ -224,7 +236,16 @@ func (r *Runner) RunCtx(ctx context.Context, k *sim.Kernel, cfg sim.Config) (sim
 
 	r.sem <- struct{}{}
 	r.execs.Add(1)
-	e.res, e.err = r.simFn(ctx, cfg, k)
+	var ar *sim.Arena
+	if r.arenas != nil {
+		ar = r.arenas.Get().(*sim.Arena)
+	}
+	e.res, e.err = r.simFn(ctx, cfg, k, ar)
+	if ar != nil {
+		// Unconditional recycle: a failed run leaves the arena marked
+		// dirty, and the next run through it rebuilds instead of reusing.
+		r.arenas.Put(ar)
+	}
 	<-r.sem
 	if e.err != nil {
 		// Evict before closing done: once waiters wake, the failed key

@@ -1,7 +1,6 @@
 package serving
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -168,31 +167,76 @@ const (
 
 type event struct {
 	at   int64
-	kind int
 	seq  int64
-	who  int // chip (evComplete) or class (evArrival)
+	who  int32 // chip (evComplete) or class (evArrival)
+	kind uint8
 }
 
+// eventHeap is a hand-rolled binary min-heap of events. container/heap
+// would box every event into an interface{} on each Push and Pop — two heap
+// allocations per DES event, the dominant cost of the loop. The value-typed
+// version allocates only on backing-array growth; capacity is retained
+// across pushes and pops, so a settled loop runs allocation-free. The pop
+// sequence is identical to the container/heap version: the comparator
+// (at, kind, seq) is a strict total order (seq is unique), and any binary
+// heap pops a strictly ordered set in exactly sorted order.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func lessEv(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	if h[i].kind != h[j].kind {
-		return h[i].kind < h[j].kind
+	if a.kind != b.kind {
+		return a.kind < b.kind
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+// push sifts up with a hole: parents slide down into the vacancy and the
+// new event is written exactly once.
+func (h *eventHeap) push(ev event) {
+	q := append(*h, ev)
+	*h = q
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !lessEv(ev, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = ev
+}
+
+// pop removes the minimum, sifting the displaced last element down through
+// a hole the same way.
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && lessEv(q[r], q[c]) {
+			c = r
+		}
+		if !lessEv(q[c], last) {
+			break
+		}
+		q[i] = q[c]
+		i = c
+	}
+	if n > 0 {
+		q[i] = last
+	}
+	return top
 }
 
 // sim is the running event loop's state.
@@ -203,6 +247,10 @@ type sim struct {
 	seq    int64
 	rngs   []*RNG // one substream per class
 	unit   []int64
+	// svc[class][n-1] caches Table.ServiceNanos(class, n) for n=1..MaxBatch,
+	// hoisting the per-batch string-keyed map lookup and batch-point search
+	// out of the event loop.
+	svc    [][]int64
 	rrNext int
 	now    int64
 	m      *Metrics
@@ -211,6 +259,10 @@ type sim struct {
 	// not yet completed requests; the integral accumulates depth*dt.
 	inSystem      int
 	depthIntegral float64
+
+	// depthArena backs the per-sample Depths slices in chunks, so a long
+	// sampled run costs one allocation per ~1k samples instead of one each.
+	depthArena []int
 }
 
 // Run executes the cluster simulation to completion — arrivals generated
@@ -231,25 +283,30 @@ func Run(cfg Config) (*Metrics, error) {
 		unit:  make([]int64, len(cfg.Classes)),
 		m:     newMetrics(cfg),
 	}
+	s.svc = make([][]int64, len(cfg.Classes))
 	for i, cl := range cfg.Classes {
 		s.rngs[i] = DeriveRNG(cfg.Seed, fmt.Sprintf("class/%d/%s", i, cl.Name))
-		// Validate probed batch 1, so this cannot fail.
+		// Validate probed batch 1, so these lookups cannot fail.
 		s.unit[i], _ = cfg.Table.ServiceNanos(cl.Name, 1)
+		s.svc[i] = make([]int64, cfg.MaxBatch)
+		for n := 1; n <= cfg.MaxBatch; n++ {
+			s.svc[i][n-1], _ = cfg.Table.ServiceNanos(cl.Name, n)
+		}
 		s.scheduleArrival(i, 0)
 	}
 	if cfg.SampleEveryNanos > 0 {
 		s.push(event{at: cfg.SampleEveryNanos, kind: evSample})
 	}
 	for len(s.events) > 0 {
-		ev := heap.Pop(&s.events).(event)
+		ev := s.events.pop()
 		s.depthIntegral += float64(s.inSystem) * float64(ev.at-s.now)
 		s.now = ev.at
 		s.m.Events++
 		switch ev.kind {
 		case evArrival:
-			s.arrive(ev.who)
+			s.arrive(int(ev.who))
 		case evComplete:
-			s.complete(ev.who)
+			s.complete(int(ev.who))
 		case evSample:
 			s.sample()
 		}
@@ -271,7 +328,7 @@ func Run(cfg Config) (*Metrics, error) {
 func (s *sim) push(ev event) {
 	ev.seq = s.seq
 	s.seq++
-	heap.Push(&s.events, ev)
+	s.events.push(ev)
 }
 
 // scheduleArrival draws the class's next inter-arrival from `from` and
@@ -282,7 +339,7 @@ func (s *sim) scheduleArrival(class int, from int64) {
 	if next > s.cfg.HorizonNanos {
 		return
 	}
-	s.push(event{at: next, kind: evArrival, who: class})
+	s.push(event{at: next, kind: evArrival, who: int32(class)})
 }
 
 // nanosOf converts a sampled inter-arrival in seconds to the integer
@@ -376,8 +433,7 @@ func (s *sim) startBatch(ci int) {
 	c.queue = kept
 	n := len(c.batch)
 	c.queuedEstNanos -= int64(n) * s.unit[class]
-	// Validate probed the class; a table error here cannot happen.
-	svc, _ := s.cfg.Table.ServiceNanos(s.cfg.Classes[class].Name, n)
+	svc := s.svc[class][n-1]
 	c.busy = true
 	c.busyUntil = s.now + svc
 	c.busyNanos += svc
@@ -389,7 +445,7 @@ func (s *sim) startBatch(ci int) {
 			StartNanos: s.now, DurNanos: svc,
 		})
 	}
-	s.push(event{at: c.busyUntil, kind: evComplete, who: ci})
+	s.push(event{at: c.busyUntil, kind: evComplete, who: int32(ci)})
 }
 
 // complete retires the chip's in-flight batch, crediting each request's
@@ -415,7 +471,7 @@ func (s *sim) complete(ci int) {
 // sample records one queue-depth observation and schedules the next while
 // inside the horizon.
 func (s *sim) sample() {
-	depths := make([]int, len(s.chips))
+	depths := s.allocDepths(len(s.chips))
 	total := 0
 	for i := range s.chips {
 		depths[i] = len(s.chips[i].queue) + len(s.chips[i].batch)
@@ -425,4 +481,21 @@ func (s *sim) sample() {
 	if next := s.now + s.cfg.SampleEveryNanos; next <= s.cfg.HorizonNanos {
 		s.push(event{at: next, kind: evSample})
 	}
+}
+
+// allocDepths carves an n-int slice out of the sample arena, refilling the
+// arena in whole chunks. The carved slices are retained by QueueSamples in
+// the finished Metrics, so the memory is live either way — chunking only
+// batches the allocator traffic.
+func (s *sim) allocDepths(n int) []int {
+	if len(s.depthArena) < n {
+		chunk := 1024 * n
+		if chunk < 4096 {
+			chunk = 4096
+		}
+		s.depthArena = make([]int, chunk)
+	}
+	d := s.depthArena[:n:n]
+	s.depthArena = s.depthArena[n:]
+	return d
 }

@@ -3,7 +3,8 @@ package serving
 import (
 	"fmt"
 	"io"
-	"sort"
+	"slices"
+	"sync"
 
 	"duplo/internal/report"
 	"duplo/internal/trace"
@@ -98,6 +99,13 @@ type Metrics struct {
 	chipBusyNanos []int64
 }
 
+// latencyPool recycles the per-class latency sample slices between runs.
+// A run appends one sample per completed request and finish discards the
+// slice after folding it into percentiles; without the pool every run
+// regrows that capacity from scratch (sweeps and benches run thousands of
+// configs back to back).
+var latencyPool = sync.Pool{New: func() interface{} { return new([]int64) }}
+
 func newMetrics(cfg Config) *Metrics {
 	m := &Metrics{
 		Chips:        cfg.Chips,
@@ -108,6 +116,7 @@ func newMetrics(cfg Config) *Metrics {
 	}
 	for i, cl := range cfg.Classes {
 		m.Classes[i].Name = cl.Name
+		m.Classes[i].latencies = (*latencyPool.Get().(*[]int64))[:0]
 	}
 	return m
 }
@@ -127,20 +136,23 @@ func (m *Metrics) finish(makespan int64) {
 		m.Rejected += c.Rejected
 		m.Completed += c.Completed
 		m.Good += c.Good
-		if len(c.latencies) == 0 {
-			continue
+		if len(c.latencies) > 0 {
+			slices.Sort(c.latencies)
+			var sum int64
+			for _, v := range c.latencies {
+				sum += v
+			}
+			c.P50Nanos = percentile(c.latencies, 0.50)
+			c.P95Nanos = percentile(c.latencies, 0.95)
+			c.P99Nanos = percentile(c.latencies, 0.99)
+			c.MaxNanos = c.latencies[len(c.latencies)-1]
+			c.MeanNanos = sum / int64(len(c.latencies))
 		}
-		sort.Slice(c.latencies, func(a, b int) bool { return c.latencies[a] < c.latencies[b] })
-		var sum int64
-		for _, v := range c.latencies {
-			sum += v
+		if c.latencies != nil {
+			buf := c.latencies[:0]
+			latencyPool.Put(&buf)
+			c.latencies = nil
 		}
-		c.P50Nanos = percentile(c.latencies, 0.50)
-		c.P95Nanos = percentile(c.latencies, 0.95)
-		c.P99Nanos = percentile(c.latencies, 0.99)
-		c.MaxNanos = c.latencies[len(c.latencies)-1]
-		c.MeanNanos = sum / int64(len(c.latencies))
-		c.latencies = nil
 	}
 	horizonSec := float64(m.HorizonNanos) / 1e9
 	m.OfferedPerSec = float64(m.Offered) / horizonSec

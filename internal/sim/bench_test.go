@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"duplo/internal/conv"
@@ -51,6 +52,35 @@ func BenchmarkSimDuplo(b *testing.B) {
 	b.ReportMetric(100*imp, "hit_rate_%")
 }
 
+// BenchmarkSimDuploPooled is BenchmarkSimDuplo through one reused Arena —
+// the steady-state cost of a sweep cell once the pool is warm.
+func BenchmarkSimDuploPooled(b *testing.B) {
+	k, err := NewConvKernel("bench", testLayer)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.MaxCTAs = 8
+	cfg.Duplo = true
+	cfg.DetectCfg.LHB = duplo.DefaultLHBConfig()
+	ar := NewArena()
+	ctx := context.Background()
+	if _, err := RunPooledContext(ctx, cfg, k, ar); err != nil {
+		b.Fatal(err) // warm the arena outside the timed region
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var imp float64
+	for i := 0; i < b.N; i++ {
+		res, err := RunPooledContext(ctx, cfg, k, ar)
+		if err != nil {
+			b.Fatal(err)
+		}
+		imp = res.LHBHitRate()
+	}
+	b.ReportMetric(100*imp, "hit_rate_%")
+}
+
 // benchMemBoundLayer is ResNet C6-shaped: a deep-K 3x3 stride-1 layer
 // whose fills dominate under the shrunken caches below.
 var benchMemBoundLayer = conv.Params{N: 8, H: 14, W: 14, C: 256, K: 256, FH: 3, FW: 3, Pad: 1, Stride: 1}
@@ -67,13 +97,18 @@ func memBoundConfig() Config {
 	return cfg
 }
 
-func benchClock(b *testing.B, dense bool) {
+func benchClock(b *testing.B, dense, withDuplo bool) {
 	k, err := NewConvKernel("clock-bench", benchMemBoundLayer)
 	if err != nil {
 		b.Fatal(err)
 	}
 	cfg := memBoundConfig()
 	cfg.DenseClock = dense
+	if withDuplo {
+		cfg.Duplo = true
+		cfg.DetectCfg.LHB = duplo.DefaultLHBConfig()
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var cycles int64
 	for i := 0; i < b.N; i++ {
@@ -87,9 +122,12 @@ func benchClock(b *testing.B, dense bool) {
 }
 
 // BenchmarkRunDense vs BenchmarkRunEventDriven measure the cycle-skipping
-// payoff on a memory-bound layer (ratio recorded in EXPERIMENTS.md).
-func BenchmarkRunDense(b *testing.B)       { benchClock(b, true) }
-func BenchmarkRunEventDriven(b *testing.B) { benchClock(b, false) }
+// payoff on a memory-bound layer (ratio recorded in EXPERIMENTS.md);
+// BenchmarkRunEventDrivenDuplo is the same cell with the detection path on
+// — the workload the hot-path data-layout work targets.
+func BenchmarkRunDense(b *testing.B)            { benchClock(b, true, false) }
+func BenchmarkRunEventDriven(b *testing.B)      { benchClock(b, false, false) }
+func BenchmarkRunEventDrivenDuplo(b *testing.B) { benchClock(b, false, true) }
 
 func benchSMWorkers(b *testing.B, workers int) {
 	k, err := NewConvKernel("shard-bench", benchMemBoundLayer)
@@ -136,7 +174,7 @@ func BenchmarkPlaceCTA(b *testing.B) {
 		sm.placeCTA(k, i%k.TotalCTAs(), int64(i))
 		// Free the slots again so placement never runs out of capacity.
 		for s := range sm.warps {
-			sm.warps[s].active = false
+			sm.deactivateSlot(s)
 		}
 		sm.resident = 0
 		for cta := range sm.ctaWarpsLeft {

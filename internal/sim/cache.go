@@ -15,10 +15,18 @@ type cacheArray struct {
 	clock     int64
 }
 
-// newCacheArray builds an array for capacityBytes with the given geometry.
-// The set count is forced to a power of two (rounding down) so indexing is
-// a mask, as in the hardware.
-func newCacheArray(capacityBytes, lineBytes, ways int) *cacheArray {
+// cacheGeometry is the derived shape of a cacheArray — split out so the
+// arena's fits() check can recompute it without allocating an array.
+type cacheGeometry struct {
+	sets      int
+	ways      int
+	lineShift uint
+}
+
+// newGeometry derives the array shape for capacityBytes. The set count is
+// forced to a power of two (rounding down) so indexing is a mask, as in
+// the hardware.
+func newGeometry(capacityBytes, lineBytes, ways int) cacheGeometry {
 	lines := capacityBytes / lineBytes
 	if lines < ways {
 		ways = lines
@@ -27,18 +35,27 @@ func newCacheArray(capacityBytes, lineBytes, ways int) *cacheArray {
 		}
 	}
 	sets := lines / ways
-	// Round down to a power of two.
 	if sets == 0 {
 		sets = 1
 	}
 	sets = 1 << (bits.Len(uint(sets)) - 1)
-	return &cacheArray{
+	return cacheGeometry{
 		sets:      sets,
 		ways:      ways,
 		lineShift: uint(bits.TrailingZeros(uint(lineBytes))),
-		tags:      make([]uint64, sets*ways),
-		valid:     make([]bool, sets*ways),
-		lru:       make([]int64, sets*ways),
+	}
+}
+
+// newCacheArray builds an array for capacityBytes with the given geometry.
+func newCacheArray(capacityBytes, lineBytes, ways int) *cacheArray {
+	g := newGeometry(capacityBytes, lineBytes, ways)
+	return &cacheArray{
+		sets:      g.sets,
+		ways:      g.ways,
+		lineShift: g.lineShift,
+		tags:      make([]uint64, g.sets*g.ways),
+		valid:     make([]bool, g.sets*g.ways),
+		lru:       make([]int64, g.sets*g.ways),
 	}
 }
 

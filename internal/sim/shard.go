@@ -331,7 +331,10 @@ func (g *gpuState) shardSafe(sms []*smState, st *shardState, blocked []int, now 
 func (g *gpuState) runShardedLoop(workers int) (int64, error) {
 	n := len(g.sms)
 	for _, sm := range g.sms {
-		sm.stage = &smStage{}
+		if sm.stageCache == nil {
+			sm.stageCache = &smStage{}
+		}
+		sm.stage = sm.stageCache
 	}
 	shardSize := (n + workers - 1) / workers
 	var shards [][]*smState

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math/bits"
+
 	duplo "duplo/internal/core"
 	"duplo/internal/trace"
 )
@@ -81,9 +83,18 @@ type smState struct {
 	l1Port int64   // next free L1 tag-port cycle (1 line/cycle)
 	pbFree []int64 // per-scheduler processing-block (tensor core) free cycle
 
-	warps    []warpCtx
-	greedy   []int // per-scheduler greedy warp slot (GTO)
-	ldstBusy []int64
+	warps []warpCtx
+	// liveMask mirrors warps[s].active as a bitset (bit s of word s/64) so
+	// the per-cycle scans (retire, nextWake) touch only live slots instead
+	// of walking all MaxWarpsPerSM entries. schedLive is the same scoreboard
+	// folded per scheduler: bit k of schedLive[sid] covers slot sid +
+	// k*Schedulers, which keeps scheduleOne's strided oldest-first scan in
+	// its original slot order. Both are maintained exclusively by
+	// activateSlot/deactivateSlot.
+	liveMask  []uint64
+	schedLive [][]uint64
+	greedy    []int // per-scheduler greedy warp slot (GTO)
+	ldstBusy  []int64
 
 	// lhbRelease is a FIFO of pending LHB entry releases: a retired load's
 	// entries are released RetireDelay cycles after the instruction pops
@@ -99,6 +110,11 @@ type smState struct {
 	// and replayed against the shared memory system in canonical order by
 	// commitStaged (phase B; see shard.go and DESIGN.md §3 "SM sharding").
 	stage *smStage
+	// stageCache retains the staging buffers across pooled runs: the
+	// sharded loop attaches it as stage, and the arena reset detaches
+	// stage again (issueLoad uses stage != nil to mean "sharded mode", so
+	// a pooled serial run must not see a stale pointer).
+	stageCache *smStage
 	// buffering redirects emit into stage.events during phase A so phase B
 	// can splice replayed service events into serial capture order.
 	buffering bool
@@ -122,10 +138,32 @@ func newSM(cfg Config, id int, mem *memSystem, gpu *gpuState) *smState {
 		ctaWarpsLeft: make(map[int]int),
 		lineBuf:      make([]uint64, 0, 64),
 	}
+	sm.liveMask = make([]uint64, (len(sm.warps)+63)/64)
+	sm.schedLive = make([][]uint64, cfg.Schedulers)
+	perSched := (len(sm.warps) + cfg.Schedulers - 1) / cfg.Schedulers
+	for i := range sm.schedLive {
+		sm.schedLive[i] = make([]uint64, (perSched+63)/64)
+	}
 	for i := range sm.greedy {
 		sm.greedy[i] = -1
 	}
 	return sm
+}
+
+// activateSlot marks warp slot s live in both scoreboards (warps[s].active
+// is set by the caller's slot initialization).
+func (sm *smState) activateSlot(s int) {
+	sm.liveMask[s>>6] |= 1 << uint(s&63)
+	k := s / sm.cfg.Schedulers
+	sm.schedLive[s%sm.cfg.Schedulers][k>>6] |= 1 << uint(k&63)
+}
+
+// deactivateSlot retires warp slot s from both scoreboards.
+func (sm *smState) deactivateSlot(s int) {
+	sm.warps[s].active = false
+	sm.liveMask[s>>6] &^= 1 << uint(s&63)
+	k := s / sm.cfg.Schedulers
+	sm.schedLive[s%sm.cfg.Schedulers][k>>6] &^= 1 << uint(k&63)
 }
 
 // placeCTA installs a CTA's warps into free slots. Caller guarantees
@@ -170,6 +208,7 @@ func (sm *smState) placeCTA(k *Kernel, cta int, launchSeq int64) {
 				regReady: rr,
 				rob:      wc.rob[:0],
 			}
+			sm.activateSlot(s)
 			live++
 			break
 		}
@@ -249,41 +288,49 @@ func (sm *smState) emit(e trace.Event) {
 // (§V-C governs the hit-rate ceiling through it).
 func (sm *smState) retire(now int64) {
 	delay := int64(sm.cfg.RetireDelay)
-	for s := range sm.warps {
-		w := &sm.warps[s]
-		if !w.active {
-			continue
+	for wi, word := range sm.liveMask {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			s := wi<<6 + b
+			w := &sm.warps[s]
+			sm.retireWarp(w, s, now, delay)
 		}
-		for !w.robEmpty() {
-			e := &w.rob[w.robHead]
-			if e.complete > now {
-				break
-			}
-			if e.isTCLoad && sm.du != nil {
-				sm.lhbRelease = append(sm.lhbRelease, lhbReleaseEvt{at: now + delay, seqLo: e.seqLo, seqHi: e.seqHi})
-			}
-			w.robHead++
-			// Forward-progress heartbeat for the watchdog: a ROB pop covers
-			// both instruction retirement and memory-request completion (a
-			// completed request pops when it reaches the head). Retirement
-			// runs serially in both loop modes, so the bare counter is
-			// race-free.
-			sm.gpu.progress++
+	}
+}
+
+// retireWarp pops warp s's completed ROB entries and releases its slot once
+// the program has drained (the per-warp body of retire; s is always live).
+func (sm *smState) retireWarp(w *warpCtx, s int, now, delay int64) {
+	for !w.robEmpty() {
+		e := &w.rob[w.robHead]
+		if e.complete > now {
+			break
 		}
-		if w.robHead > 0 && w.robEmpty() {
-			w.rob = w.rob[:0]
-			w.robHead = 0
+		if e.isTCLoad && sm.du != nil {
+			sm.lhbRelease = append(sm.lhbRelease, lhbReleaseEvt{at: now + delay, seqLo: e.seqLo, seqHi: e.seqHi})
 		}
-		if w.finished() {
-			w.active = false
-			left := sm.ctaWarpsLeft[w.cta] - 1
-			if left == 0 {
-				delete(sm.ctaWarpsLeft, w.cta)
-				sm.resident--
-				sm.gpu.ctaDone(sm, now)
-			} else {
-				sm.ctaWarpsLeft[w.cta] = left
-			}
+		w.robHead++
+		// Forward-progress heartbeat for the watchdog: a ROB pop covers
+		// both instruction retirement and memory-request completion (a
+		// completed request pops when it reaches the head). Retirement
+		// runs serially in both loop modes, so the bare counter is
+		// race-free.
+		sm.gpu.progress++
+	}
+	if w.robHead > 0 && w.robEmpty() {
+		w.rob = w.rob[:0]
+		w.robHead = 0
+	}
+	if w.finished() {
+		sm.deactivateSlot(s)
+		left := sm.ctaWarpsLeft[w.cta] - 1
+		if left == 0 {
+			delete(sm.ctaWarpsLeft, w.cta)
+			sm.resident--
+			sm.gpu.ctaDone(sm, now)
+		} else {
+			sm.ctaWarpsLeft[w.cta] = left
 		}
 	}
 }
@@ -361,21 +408,28 @@ func (sm *smState) scheduleOne(sid int, now int64) (issued, blocked bool) {
 	if g := sm.greedy[sid]; g >= 0 && try(g) {
 		return true, false
 	}
-	// Oldest-first scan over this scheduler's warp slots.
+	// Oldest-first scan over this scheduler's live warp slots (the
+	// schedLive scoreboard walks them in the same ascending-slot order as
+	// the pre-bitset strided loop).
 	best := -1
 	var bestAge int64 = 1 << 62
-	for s := sid; s < len(sm.warps); s += sm.cfg.Schedulers {
-		w := &sm.warps[s]
-		if !w.active || w.pc >= w.prog.Len() || s == sm.greedy[sid] {
-			continue
-		}
-		if w.age < bestAge {
-			// Try in age order lazily: collect the oldest issuable.
-			if ok, blocked := sm.canIssue(sid, w, now); ok {
-				bestAge = w.age
-				best = s
-			} else if blocked {
-				ldstBlocked = true
+	for wi, word := range sm.schedLive[sid] {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			s := (wi<<6+b)*sm.cfg.Schedulers + sid
+			w := &sm.warps[s]
+			if w.pc >= w.prog.Len() || s == sm.greedy[sid] {
+				continue
+			}
+			if w.age < bestAge {
+				// Try in age order lazily: collect the oldest issuable.
+				if ok, blocked := sm.canIssue(sid, w, now); ok {
+					bestAge = w.age
+					best = s
+				} else if blocked {
+					ldstBlocked = true
+				}
 			}
 		}
 	}
@@ -704,44 +758,46 @@ func (sm *smState) nextWake(now int64) int64 {
 	if sm.l1Port > now {
 		add(sm.l1Port)
 	}
-	for s := range sm.warps {
-		w := &sm.warps[s]
-		if !w.active {
-			continue
-		}
-		if !w.robEmpty() {
-			add(w.rob[w.robHead].complete)
-		}
-		if w.pc >= w.prog.Len() {
-			continue
-		}
-		w.decode()
-		in := &w.cur
-		switch in.Op {
-		case OpLoadA, OpLoadB, OpStoreD:
-			reg := in.Dst
-			if in.Op == OpStoreD {
-				reg = in.SrcA
+	for wi, word := range sm.liveMask {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			s := wi<<6 + b
+			w := &sm.warps[s]
+			if !w.robEmpty() {
+				add(w.rob[w.robHead].complete)
 			}
-			if t := w.regReady[reg]; t > now {
-				add(t)
-			} else if len(sm.ldstBusy) == 0 {
-				// A ready memory op can only be gated by a full LDST
-				// queue; an empty queue here is inconsistent — wake
-				// immediately instead of risking a missed event.
-				add(now + 1)
+			if w.pc >= w.prog.Len() {
+				continue
 			}
-		case OpMMA:
-			gated := false
-			for _, rg := range [...]uint8{in.SrcA, in.SrcB, in.Dst} {
-				if t := w.regReady[rg]; t > now {
-					add(t)
-					gated = true
+			w.decode()
+			in := &w.cur
+			switch in.Op {
+			case OpLoadA, OpLoadB, OpStoreD:
+				reg := in.Dst
+				if in.Op == OpStoreD {
+					reg = in.SrcA
 				}
-			}
-			if !gated {
-				// Operands ready: the gate is the processing block.
-				add(sm.pbFree[s%sm.cfg.Schedulers])
+				if t := w.regReady[reg]; t > now {
+					add(t)
+				} else if len(sm.ldstBusy) == 0 {
+					// A ready memory op can only be gated by a full LDST
+					// queue; an empty queue here is inconsistent — wake
+					// immediately instead of risking a missed event.
+					add(now + 1)
+				}
+			case OpMMA:
+				gated := false
+				for _, rg := range [...]uint8{in.SrcA, in.SrcB, in.Dst} {
+					if t := w.regReady[rg]; t > now {
+						add(t)
+						gated = true
+					}
+				}
+				if !gated {
+					// Operands ready: the gate is the processing block.
+					add(sm.pbFree[s%sm.cfg.Schedulers])
+				}
 			}
 		}
 	}

@@ -35,6 +35,11 @@ SERVING_BENCHTIME="${SERVING_BENCHTIME:-$BENCHTIME}"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 
+# Every emitted JSON is stamped with the commit and date it measured, so a
+# checked-in baseline is traceable to the code it described.
+COMMIT=$(git rev-parse HEAD 2>/dev/null || echo unknown)
+DATE=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+
 # Benchmark lines contain no JSON-special characters beyond what we strip
 # (tabs -> spaces); each becomes one string in a JSON array.
 bench_json() { # bench_json <<<"$RAW"
@@ -61,6 +66,8 @@ serving_bench() {
 	echo "bench: serving DES $events events/s" >&2
 	{
 		printf '{\n'
+		printf '  "commit": "%s",\n' "$COMMIT"
+		printf '  "date": "%s",\n' "$DATE"
 		printf '  "des_events_per_sec": %s,\n' "$events"
 		printf '  "go_bench": %s\n' "$(bench_json <<<"$raw")"
 		printf '}\n'
@@ -113,6 +120,8 @@ BENCH_RAW=$(go test -run='^$' -bench=. -benchmem -benchtime="$BENCHTIME" ./inter
 
 {
 	printf '{\n'
+	printf '  "commit": "%s",\n' "$COMMIT"
+	printf '  "date": "%s",\n' "$DATE"
 	printf '  "scale": {"ctas": %s, "sms": %s},\n' "$CTAS" "$SMS"
 	printf '  "fig9_seconds": {"cold": %s, "warm": %s, "calibrate": %s, "predicted": %s},\n' \
 		"$COLD" "$WARM" "$CALIB" "$PRED"
