@@ -33,6 +33,18 @@
 // -cpuprofile / -memprofile write pprof profiles of the daemon itself
 // (flushed on clean shutdown) — the same flags duplosim and duploexp
 // take, for performance work on the serving path.
+//
+// Operational robustness (DESIGN.md §12): -max-inflight/-queue-cap bound
+// job admission (shed 429 + Retry-After beyond them), -max-sweeps bounds
+// streaming sweeps (503), -max-body bounds POST bodies (413), -job-ttl
+// evicts finished jobs (evicted ids answer 410 gone). Store failures
+// retry with backoff (-store-retries) and trip a circuit breaker
+// (-breaker-threshold / -breaker-open) that degrades the daemon to
+// memo-only rather than failing jobs; /healthz reports degraded (503
+// under ?strict=1) until the disk recovers. -journal records job
+// starts/ends so a killed daemon reports in-flight jobs as typed
+// "interrupted" after restart. -fault-spec/-fault-seed arm deterministic
+// fault injection for chaos testing — never in production.
 package main
 
 import (
@@ -44,10 +56,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"duplo/internal/experiments"
+	"duplo/internal/fault"
 	"duplo/internal/profiling"
 	"duplo/internal/server"
 	"duplo/internal/store"
@@ -71,6 +85,24 @@ var (
 	verbose     = flag.Bool("v", false, "log job progress to stderr")
 	cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the daemon to this file on exit")
 	memprofile  = flag.String("memprofile", "", "write a heap profile of the daemon to this file on exit")
+
+	// Operational-robustness knobs (DESIGN.md §12).
+	maxInflight = flag.Int("max-inflight", 16, "max concurrently executing jobs (0 = unbounded)")
+	queueCap    = flag.Int("queue-cap", 64, "max pending jobs beyond the in-flight bound; above it submissions get 429 + Retry-After")
+	maxSweeps   = flag.Int("max-sweeps", 4, "max concurrently streaming sweeps; above it 503 + Retry-After (0 = unbounded)")
+	jobTTL      = flag.Duration("job-ttl", time.Hour, "retention of finished jobs; evicted ids answer 410 gone (0 = keep forever)")
+	journalPath = flag.String("journal", "", "job journal path for crash recovery (default <store>/journal.jsonl; \"none\" disables)")
+	maxBody     = flag.Int64("max-body", 1<<20, "max POST body bytes; above it a typed 413 (0 = unbounded)")
+
+	// Store resilience (requires -store).
+	breakerThreshold = flag.Int("breaker-threshold", 5, "consecutive store failures that trip the circuit breaker")
+	breakerOpen      = flag.Duration("breaker-open", 5*time.Second, "open-breaker dwell before a half-open probe")
+	storeRetries     = flag.Int("store-retries", 2, "retries per transient store failure (exponential backoff + jitter)")
+
+	// Deterministic fault injection — test/chaos tooling, never set in
+	// production (internal/fault; an empty spec arms nothing).
+	faultSpec = flag.String("fault-spec", "", "semicolon-separated fault rules, e.g. 'store-read:p=0.1;sim:nth=3' (testing only)")
+	faultSeed = flag.Int64("fault-seed", 1, "seed for probabilistic fault rules")
 )
 
 func main() {
@@ -106,15 +138,59 @@ func run(ctx context.Context) error {
 		opts.Verbose = true
 		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
 	}
-	cfg := server.Config{Options: opts}
+
+	// Fault injection is armed only by an explicit -fault-spec; the nil
+	// injector leaves the production path hook-free.
+	var injector *fault.Injector
+	if *faultSpec != "" {
+		injector, err = fault.Parse(*faultSpec, *faultSeed)
+		if err != nil {
+			return err
+		}
+		opts.Faults = injector
+		fmt.Fprintln(os.Stderr, "duploserved: FAULT INJECTION ARMED:", *faultSpec)
+	}
+
+	cfg := server.Config{
+		Options:      opts,
+		MaxInflight:  *maxInflight,
+		QueueCap:     *queueCap,
+		MaxSweeps:    *maxSweeps,
+		JobTTL:       *jobTTL,
+		MaxBodyBytes: *maxBody,
+	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir)
 		if err != nil {
 			return err
 		}
+		if injector != nil {
+			st.SetFaults(injector)
+		}
+		st.EnableResilience(store.ResilienceConfig{
+			FailureThreshold: *breakerThreshold,
+			OpenFor:          *breakerOpen,
+			Retries:          *storeRetries,
+			Seed:             *seed,
+		})
 		cfg.Store = st
 	} else {
 		fmt.Fprintln(os.Stderr, "duploserved: no -store: results die with the process")
+	}
+	jpath := *journalPath
+	if jpath == "" && *storeDir != "" {
+		jpath = filepath.Join(*storeDir, "journal.jsonl")
+	}
+	if jpath != "" && jpath != "none" {
+		jl, err := server.OpenJournal(jpath)
+		if err != nil {
+			return err
+		}
+		defer jl.Close()
+		if n := len(jl.Interrupted()); n > 0 {
+			fmt.Fprintf(os.Stderr, "duploserved: journal: %d job(s) interrupted by a previous crash\n", n)
+		}
+		cfg.Journal = jl
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -128,6 +204,13 @@ func run(ctx context.Context) error {
 	srv := &http.Server{
 		Handler:     server.New(cfg).Handler(),
 		BaseContext: func(net.Listener) context.Context { return ctx },
+		// Header/read bounds defend the accept loop; the write timeout
+		// bounds silent responses, with the NDJSON sweep stream exempted
+		// via its per-event sliding deadline (internal/server/sweep.go).
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      time.Minute,
+		MaxHeaderBytes:    1 << 20,
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()

@@ -97,6 +97,23 @@ type Options struct {
 	// value is used as-is. The cluster table is byte-identical across
 	// repeated runs and worker counts at a fixed seed.
 	Seed int64
+
+	// Faults, when non-nil, injects simulation-phase faults (panics,
+	// added latency) keyed by kernel name — the runner-tier half of
+	// internal/fault. Nil (the production default) adds no branches to
+	// the simulate path: the seam wraps simFn once at construction, the
+	// same discipline as the PR 3 tracer.
+	Faults SimFaultInjector
+}
+
+// SimFaultInjector is the runner's view of a fault injector
+// (*fault.Injector satisfies it). SimFault returning non-nil makes the
+// wrapped simulation panic with that error (exercising the typed
+// sim.PhasePanic recovery path); SimDelay stalls the simulation, or
+// aborts with the context's typed error if cancellation wins the race.
+type SimFaultInjector interface {
+	SimFault(kernel string) error
+	SimDelay(kernel string) time.Duration
 }
 
 // DefaultOptions returns the standard experiment scale.

@@ -2,11 +2,13 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	duplo "duplo/internal/core"
 	"duplo/internal/predictor"
@@ -106,7 +108,43 @@ func NewRunner(opts Options) *Runner {
 	if !opts.DisableStatePool {
 		r.arenas = &sync.Pool{New: func() interface{} { return sim.NewArena() }}
 	}
+	if opts.Faults != nil {
+		r.simFn = faultWrap(opts.Faults, r.simFn)
+	}
 	return r
+}
+
+// faultWrap layers a SimFaultInjector over the simulate function: injected
+// delays stall before the run (losing to cancellation with the usual typed
+// error), injected faults surface as contained sim.PhasePanic errors — the
+// exact failure shape a real in-loop panic produces, so the whole typed
+// error path (problem documents, failed-run eviction, crash accounting) is
+// exercised without ever crashing a server goroutine. Nil Faults never
+// reaches here; the production simFn is untouched.
+func faultWrap(f SimFaultInjector, next func(context.Context, sim.Config, *sim.Kernel, *sim.Arena) (sim.Result, error)) func(context.Context, sim.Config, *sim.Kernel, *sim.Arena) (sim.Result, error) {
+	return func(ctx context.Context, cfg sim.Config, k *sim.Kernel, ar *sim.Arena) (sim.Result, error) {
+		if d := f.SimDelay(k.Name); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				phase := sim.PhaseCancelled
+				if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+					phase = sim.PhaseDeadline
+				}
+				return sim.Result{}, &sim.SimError{Phase: phase, Reason: "cancelled during injected delay", Err: ctx.Err()}
+			case <-t.C:
+			}
+		}
+		if ferr := f.SimFault(k.Name); ferr != nil {
+			return sim.Result{}, &sim.SimError{
+				Phase:  sim.PhasePanic,
+				Reason: fmt.Sprintf("injected simulation fault: %v", ferr),
+				Err:    ferr,
+			}
+		}
+		return next(ctx, cfg, k, ar)
+	}
 }
 
 // Workers returns the pool size.

@@ -1,0 +1,362 @@
+// Package fault is a deterministic, seeded fault-injection harness for
+// the persistence and simulation tiers (DESIGN.md §12). An Injector is
+// parsed from a compact rule spec and threaded through store.Store and
+// experiments.Runner via small hook interfaces that are nil — and
+// therefore strictly off the hot path — in production. The chaos suites
+// drive concurrent clients against an injected daemon and assert the
+// invariants that matter: no corrupted payload is ever served, healthy
+// runs stay byte-identical, and the breaker recovers when faults stop.
+//
+// Spec grammar (rules separated by ';', parameters by ','):
+//
+//	store-read:nth=3              fail exactly the 3rd store read
+//	store-write:p=0.1             fail each store write with probability 0.1
+//	store-read:after=5,count=10   fail reads 6..15 (a durational outage)
+//	corrupt:p=0.2                 bit-flip read payloads with probability 0.2
+//	slow-io:every=4,delay=5ms     delay every 4th disk op by 5ms
+//	sim:p=0.05                    panic inside every 20th simulation (expected)
+//	sim-delay:p=1,delay=200ms     stretch every simulation by 200ms
+//	sim:nth=2,match=ResNet        only for kernels whose name contains "ResNet"
+//
+// Triggers compose: `after`/`count` bound a window of the op's 1-based
+// call counter, and within it `nth` (one-shot), `every` (periodic), or
+// `p` (probabilistic, drawn from the injector's seeded splitmix64 stream)
+// decide; a rule with a window but no trigger fires on every call in the
+// window. Given one seed and one call order, the decision sequence is a
+// pure function of the spec — the chaos tests rely on it.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Op names one injection point.
+type Op string
+
+// The injection points. Store ops are consulted by store.Store (via its
+// FaultInjector hook), sim ops by experiments.Runner (via SimFaultInjector).
+const (
+	// OpStoreRead fails a store lookup with a transient I/O error before
+	// it touches the disk (the record, if any, is left intact).
+	OpStoreRead Op = "store-read"
+	// OpStoreWrite fails a store persist with a transient I/O error
+	// before any bytes are written.
+	OpStoreWrite Op = "store-write"
+	// OpCorrupt bit-flips a successfully read record payload, exercising
+	// the envelope checksum (the mangled copy must never be served).
+	OpCorrupt Op = "corrupt"
+	// OpSlowIO delays a disk operation by the rule's delay.
+	OpSlowIO Op = "slow-io"
+	// OpSim panics inside the simulation phase; the runner's containment
+	// surfaces it as a typed *sim.SimError (phase "panic").
+	OpSim Op = "sim"
+	// OpSimDelay stretches a simulation's wall-clock by the rule's delay
+	// (admission-control and shedding tests use it for long jobs).
+	OpSimDelay Op = "sim-delay"
+)
+
+// ops indexes the per-op call/injection counters.
+var ops = []Op{OpStoreRead, OpStoreWrite, OpCorrupt, OpSlowIO, OpSim, OpSimDelay}
+
+func opIndex(op Op) int {
+	for i, o := range ops {
+		if o == op {
+			return i
+		}
+	}
+	return -1
+}
+
+// ErrInjected is the sentinel every injected failure wraps, so tests can
+// errors.Is-classify an injected error against a real one.
+var ErrInjected = errors.New("injected fault")
+
+// InjectedError is the typed failure an armed rule produces.
+type InjectedError struct {
+	Op   Op
+	Call int64 // the op's 1-based call number that fired
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("fault: injected %s failure (call %d)", e.Op, e.Call)
+}
+
+// Unwrap ties the error to the ErrInjected sentinel.
+func (e *InjectedError) Unwrap() error { return ErrInjected }
+
+// Rule is one parsed injection rule. Zero trigger fields mean "every call
+// in the window"; Match restricts sim rules to kernels (and store rules to
+// keys) containing the substring.
+type Rule struct {
+	Op    Op
+	Nth   int64         // fire exactly on this call number
+	Every int64         // fire on every multiple of this call number
+	Prob  float64       // fire with this probability per call
+	After int64         // window start: only calls > After fire
+	Count int64         // window length: only calls <= After+Count fire (0 = unbounded)
+	Delay time.Duration // slow-io / sim-delay latency
+	Match string        // substring filter on the call subject
+}
+
+func (r *Rule) matches(subject string) bool {
+	return r.Match == "" || strings.Contains(subject, r.Match)
+}
+
+func (r *Rule) inWindow(n int64) bool {
+	if n <= r.After {
+		return false
+	}
+	return r.Count == 0 || n <= r.After+r.Count
+}
+
+// Injector evaluates a rule set against per-op call counters and one
+// seeded random stream. All methods are safe for concurrent use; under
+// concurrency the decision *set* stays that of the spec even though the
+// call order (and so which exact call a probabilistic rule hits) is
+// schedule-dependent.
+type Injector struct {
+	mu       sync.Mutex
+	rules    []Rule
+	rng      uint64
+	disabled bool
+	c        counters
+}
+
+// nOps must track len(ops); counters are fixed-size arrays so decide is
+// allocation-free.
+const nOps = 6
+
+type counters struct {
+	calls    [nOps]int64
+	injected [nOps]int64
+}
+
+// New builds an injector from explicit rules (Parse is the spec form).
+func New(seed int64, rules ...Rule) (*Injector, error) {
+	for i := range rules {
+		if err := rules[i].validate(); err != nil {
+			return nil, err
+		}
+	}
+	s := uint64(seed)
+	// Pre-mix so seed 0 does not start the stream at the fixed point.
+	splitmix64(&s)
+	return &Injector{rules: rules, rng: s}, nil
+}
+
+func (r *Rule) validate() error {
+	if opIndex(r.Op) < 0 {
+		return fmt.Errorf("fault: unknown op %q", r.Op)
+	}
+	if r.Prob < 0 || r.Prob > 1 {
+		return fmt.Errorf("fault: %s: probability %v outside [0,1]", r.Op, r.Prob)
+	}
+	if r.Nth < 0 || r.Every < 0 || r.After < 0 || r.Count < 0 || r.Delay < 0 {
+		return fmt.Errorf("fault: %s: negative rule parameter", r.Op)
+	}
+	if (r.Op == OpSlowIO || r.Op == OpSimDelay) && r.Delay <= 0 {
+		return fmt.Errorf("fault: %s requires delay=<duration>", r.Op)
+	}
+	return nil
+}
+
+// Parse builds an injector from a spec string (see the package comment
+// for the grammar). An empty spec yields an armed injector with no rules:
+// hooks attached, nothing ever fires — the fault-free differential gates
+// run in exactly that configuration.
+func Parse(spec string, seed int64) (*Injector, error) {
+	var rules []Rule
+	for _, raw := range strings.Split(spec, ";") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		opStr, params, _ := strings.Cut(raw, ":")
+		r := Rule{Op: Op(strings.TrimSpace(opStr))}
+		if params != "" {
+			for _, p := range strings.Split(params, ",") {
+				k, v, ok := strings.Cut(strings.TrimSpace(p), "=")
+				if !ok {
+					return nil, fmt.Errorf("fault: rule %q: parameter %q is not key=value", raw, p)
+				}
+				var err error
+				switch k {
+				case "nth":
+					r.Nth, err = strconv.ParseInt(v, 10, 64)
+				case "every":
+					r.Every, err = strconv.ParseInt(v, 10, 64)
+				case "p":
+					r.Prob, err = strconv.ParseFloat(v, 64)
+				case "after":
+					r.After, err = strconv.ParseInt(v, 10, 64)
+				case "count":
+					r.Count, err = strconv.ParseInt(v, 10, 64)
+				case "delay":
+					r.Delay, err = time.ParseDuration(v)
+				case "match":
+					r.Match = v
+				default:
+					err = fmt.Errorf("unknown parameter %q", k)
+				}
+				if err != nil {
+					return nil, fmt.Errorf("fault: rule %q: %v", raw, err)
+				}
+			}
+		}
+		rules = append(rules, r)
+	}
+	return New(seed, rules...)
+}
+
+// Disable stops all injection: every hook becomes a pass-through and the
+// call counters freeze. The chaos recovery tests flip this to model
+// "the faults stop" without rebuilding the daemon.
+func (in *Injector) Disable() { in.setDisabled(true) }
+
+// Enable re-arms a disabled injector.
+func (in *Injector) Enable() { in.setDisabled(false) }
+
+func (in *Injector) setDisabled(v bool) {
+	in.mu.Lock()
+	in.disabled = v
+	in.mu.Unlock()
+}
+
+// Injected reports how many times op's rules have fired.
+func (in *Injector) Injected(op Op) int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if i := opIndex(op); i >= 0 {
+		return in.c.injected[i]
+	}
+	return 0
+}
+
+// Calls reports how many times op has been consulted (disabled calls are
+// not counted, so re-enabling resumes the deterministic sequence).
+func (in *Injector) Calls(op Op) int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if i := opIndex(op); i >= 0 {
+		return in.c.calls[i]
+	}
+	return 0
+}
+
+// decide advances op's call counter and evaluates the rules in spec
+// order, returning the first rule that fires.
+func (in *Injector) decide(op Op, subject string) (Rule, int64, bool) {
+	idx := opIndex(op)
+	if idx < 0 {
+		return Rule{}, 0, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.disabled {
+		return Rule{}, 0, false
+	}
+	in.c.calls[idx]++
+	n := in.c.calls[idx]
+	for i := range in.rules {
+		r := &in.rules[i]
+		if r.Op != op || !r.matches(subject) || !r.inWindow(n) {
+			continue
+		}
+		switch {
+		case r.Nth > 0:
+			if n != r.Nth {
+				continue
+			}
+		case r.Every > 0:
+			if n%r.Every != 0 {
+				continue
+			}
+		case r.Prob > 0:
+			if in.float64() >= r.Prob {
+				continue
+			}
+		}
+		in.c.injected[idx]++
+		return *r, n, true
+	}
+	return Rule{}, n, false
+}
+
+// float64 draws a uniform sample in [0,1) from the injector's own
+// splitmix64 stream (deliberately not math/rand: the decision sequence
+// must not depend on the standard library staying stable).
+func (in *Injector) float64() float64 {
+	return float64(splitmix64(&in.rng)>>11) / (1 << 53)
+}
+
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// ReadFault implements store.FaultInjector: a non-nil error fails the
+// lookup with a transient I/O error before the disk is touched.
+func (in *Injector) ReadFault(key string) error {
+	if _, n, ok := in.decide(OpStoreRead, key); ok {
+		return &InjectedError{Op: OpStoreRead, Call: n}
+	}
+	return nil
+}
+
+// WriteFault implements store.FaultInjector for the persist side.
+func (in *Injector) WriteFault(key string) error {
+	if _, n, ok := in.decide(OpStoreWrite, key); ok {
+		return &InjectedError{Op: OpStoreWrite, Call: n}
+	}
+	return nil
+}
+
+// MangleRead implements store.FaultInjector: when armed it returns a
+// bit-flipped copy of raw (the original is never mutated), simulating
+// on-disk corruption the envelope checksum must catch.
+func (in *Injector) MangleRead(raw []byte) ([]byte, bool) {
+	_, n, ok := in.decide(OpCorrupt, "")
+	if !ok || len(raw) == 0 {
+		return nil, false
+	}
+	m := make([]byte, len(raw))
+	copy(m, raw)
+	// Flip one deterministic bit per call: spread across the record so
+	// envelope, checksum, and payload regions all get exercised over time.
+	pos := int(uint64(n*2654435761) % uint64(len(m)))
+	m[pos] ^= 1 << (uint(n) % 8)
+	return m, true
+}
+
+// IODelay implements store.FaultInjector: extra latency for a disk op.
+func (in *Injector) IODelay() time.Duration {
+	if r, _, ok := in.decide(OpSlowIO, ""); ok {
+		return r.Delay
+	}
+	return 0
+}
+
+// SimFault implements experiments.SimFaultInjector: a non-nil error makes
+// the runner panic inside its contained sim wrapper.
+func (in *Injector) SimFault(kernel string) error {
+	if _, n, ok := in.decide(OpSim, kernel); ok {
+		return &InjectedError{Op: OpSim, Call: n}
+	}
+	return nil
+}
+
+// SimDelay implements experiments.SimFaultInjector's latency side.
+func (in *Injector) SimDelay(kernel string) time.Duration {
+	if r, _, ok := in.decide(OpSimDelay, kernel); ok {
+		return r.Delay
+	}
+	return 0
+}

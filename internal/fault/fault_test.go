@@ -1,0 +1,226 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestParseGrammar pins the spec grammar: every documented form parses,
+// every malformed one is rejected with a diagnostic.
+func TestParseGrammar(t *testing.T) {
+	good := []string{
+		"",
+		"store-read:nth=3",
+		"store-write:p=0.1",
+		"store-read:after=5,count=10",
+		"corrupt:p=0.2",
+		"slow-io:every=4,delay=5ms",
+		"sim:p=0.05",
+		"sim-delay:p=1,delay=200ms",
+		"sim:nth=2,match=ResNet",
+		"store-read:p=1 ; store-write:p=1",
+	}
+	for _, spec := range good {
+		if _, err := Parse(spec, 1); err != nil {
+			t.Errorf("Parse(%q): %v", spec, err)
+		}
+	}
+	bad := []string{
+		"frobnicate:p=1",       // unknown op
+		"store-read:p=1.5",     // probability out of range
+		"store-read:nth",       // not key=value
+		"store-read:bogus=1",   // unknown parameter
+		"slow-io:every=4",      // delay op without delay
+		"sim-delay:p=1",        // delay op without delay
+		"store-read:nth=-1",    // negative parameter
+		"slow-io:delay=-5ms",   // negative delay
+		"store-read:p=potato",  // unparsable value
+		"store-read:after=x,p", // unparsable + malformed
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec, 1); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+// TestNthEveryWindow pins the deterministic triggers against the 1-based
+// call counter.
+func TestNthEveryWindow(t *testing.T) {
+	in, err := Parse("store-read:nth=3;store-write:every=2;sim:after=2,count=2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reads, writes, sims []bool
+	for i := 0; i < 6; i++ {
+		reads = append(reads, in.ReadFault("k") != nil)
+		writes = append(writes, in.WriteFault("k") != nil)
+		sims = append(sims, in.SimFault("k") != nil)
+	}
+	wantReads := []bool{false, false, true, false, false, false}
+	wantWrites := []bool{false, true, false, true, false, true}
+	wantSims := []bool{false, false, true, true, false, false} // window (2, 4]
+	for i := range reads {
+		if reads[i] != wantReads[i] || writes[i] != wantWrites[i] || sims[i] != wantSims[i] {
+			t.Fatalf("call %d: read=%v write=%v sim=%v, want %v %v %v",
+				i+1, reads[i], writes[i], sims[i], wantReads[i], wantWrites[i], wantSims[i])
+		}
+	}
+	if got := in.Injected(OpStoreRead); got != 1 {
+		t.Errorf("Injected(store-read) = %d, want 1", got)
+	}
+	if got := in.Calls(OpStoreWrite); got != 6 {
+		t.Errorf("Calls(store-write) = %d, want 6", got)
+	}
+}
+
+// TestProbabilisticDeterminism: the same seed replays the same decision
+// sequence; a different seed gives a different one; rates land near p.
+func TestProbabilisticDeterminism(t *testing.T) {
+	run := func(seed int64) []bool {
+		in, err := Parse("store-read:p=0.3", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 1000)
+		for i := range out {
+			out[i] = in.ReadFault("k") != nil
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i+1)
+		}
+	}
+	fired := 0
+	for _, v := range a {
+		if v {
+			fired++
+		}
+	}
+	if fired < 200 || fired > 400 {
+		t.Errorf("p=0.3 over 1000 calls fired %d times, want ~300", fired)
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical decision sequences")
+	}
+}
+
+// TestMatchFilter: a match= rule fires only for matching subjects, and
+// non-matching calls still advance the counter (the counter is per op,
+// not per rule).
+func TestMatchFilter(t *testing.T) {
+	in, err := Parse("sim:every=1,match=ResNet", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.SimFault("GAN/TC4") != nil {
+		t.Error("non-matching kernel was injected")
+	}
+	if in.SimFault("ResNet/C2") == nil {
+		t.Error("matching kernel was not injected")
+	}
+}
+
+// TestDisableFreezesCounters: a disabled injector passes everything
+// through without advancing counters, and re-enabling resumes the exact
+// sequence.
+func TestDisableFreezesCounters(t *testing.T) {
+	in, err := Parse("store-read:nth=2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.ReadFault("k") != nil {
+		t.Fatal("call 1 fired")
+	}
+	in.Disable()
+	for i := 0; i < 5; i++ {
+		if in.ReadFault("k") != nil {
+			t.Fatal("disabled injector fired")
+		}
+	}
+	if got := in.Calls(OpStoreRead); got != 1 {
+		t.Fatalf("disabled calls advanced the counter to %d", got)
+	}
+	in.Enable()
+	if in.ReadFault("k") == nil {
+		t.Error("call 2 after re-enable did not fire (sequence not resumed)")
+	}
+}
+
+// TestInjectedErrorTyping: injected failures wrap the ErrInjected sentinel
+// and carry their op and call number.
+func TestInjectedErrorTyping(t *testing.T) {
+	in, err := Parse("store-write:nth=1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	werr := in.WriteFault("k")
+	if werr == nil {
+		t.Fatal("nth=1 write did not fire")
+	}
+	if !errors.Is(werr, ErrInjected) {
+		t.Errorf("injected error does not unwrap to ErrInjected: %v", werr)
+	}
+	var ie *InjectedError
+	if !errors.As(werr, &ie) || ie.Op != OpStoreWrite || ie.Call != 1 {
+		t.Errorf("injected error = %+v, want {store-write, 1}", ie)
+	}
+}
+
+// TestMangleReadCopies: corruption mangles a copy, never the caller's
+// bytes, and actually differs from the original.
+func TestMangleReadCopies(t *testing.T) {
+	in, err := Parse("corrupt:every=1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := []byte(`{"version":1,"payload":"abc"}`)
+	orig := append([]byte(nil), raw...)
+	m, ok := in.MangleRead(raw)
+	if !ok {
+		t.Fatal("every=1 corrupt did not fire")
+	}
+	if !bytes.Equal(raw, orig) {
+		t.Error("MangleRead mutated the caller's buffer")
+	}
+	if bytes.Equal(m, orig) {
+		t.Error("mangled copy is identical to the original")
+	}
+	if _, ok := in.MangleRead(nil); ok {
+		t.Error("MangleRead fired on an empty buffer")
+	}
+}
+
+// TestDelays: slow-io and sim-delay return the rule's duration when they
+// fire and zero otherwise.
+func TestDelays(t *testing.T) {
+	in, err := Parse("slow-io:every=2,delay=5ms;sim-delay:nth=1,delay=200ms", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := in.IODelay(); d != 0 {
+		t.Errorf("IODelay call 1 = %v, want 0", d)
+	}
+	if d := in.IODelay(); d != 5*time.Millisecond {
+		t.Errorf("IODelay call 2 = %v, want 5ms", d)
+	}
+	if d := in.SimDelay("k"); d != 200*time.Millisecond {
+		t.Errorf("SimDelay call 1 = %v, want 200ms", d)
+	}
+	if d := in.SimDelay("k"); d != 0 {
+		t.Errorf("SimDelay call 2 = %v, want 0", d)
+	}
+}

@@ -90,9 +90,11 @@ func (rq RunRequest) build(opts experiments.Options) (*sim.Kernel, sim.Config, e
 
 // Job states.
 const (
-	jobRunning = "running"
-	jobDone    = "done"
-	jobFailed  = "failed"
+	jobQueued      = "queued"
+	jobRunning     = "running"
+	jobDone        = "done"
+	jobFailed      = "failed"
+	jobInterrupted = "interrupted"
 )
 
 // job is one submitted run: its request, its cancel handle, and — once
@@ -101,11 +103,29 @@ type job struct {
 	id     string
 	req    RunRequest
 	cancel context.CancelFunc
-	done   chan struct{}
+	// started closes when the job wins an execution slot and begins
+	// simulating (immediately at submit when admission is unbounded);
+	// done closes when it finishes either way.
+	started chan struct{}
+	done    chan struct{}
 
-	mu  sync.Mutex
-	res sim.Result
-	err error
+	mu         sync.Mutex
+	res        sim.Result
+	err        error
+	finishedAt time.Time
+}
+
+// finished reports whether the job reached a terminal state, and when
+// (for TTL eviction).
+func (j *job) finished() (time.Time, bool) {
+	select {
+	case <-j.done:
+	default:
+		return time.Time{}, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.finishedAt, true
 }
 
 // snapshot renders the job's externally visible state.
@@ -114,6 +134,11 @@ func (j *job) snapshot() JobStatus {
 	select {
 	case <-j.done:
 	default:
+		select {
+		case <-j.started:
+		default:
+			js.Status = jobQueued
+		}
 		return js
 	}
 	j.mu.Lock()
@@ -135,7 +160,7 @@ func (j *job) snapshot() JobStatus {
 // JobStatus is the GET /v1/runs/{id} body.
 type JobStatus struct {
 	ID      string     `json:"id"`
-	Status  string     `json:"status"` // running | done | failed
+	Status  string     `json:"status"` // queued | running | done | failed | interrupted
 	Request RunRequest `json:"request"`
 	Result  *RunResult `json:"result,omitempty"`
 	Error   *Problem   `json:"error,omitempty"`
@@ -152,11 +177,27 @@ type RunResult struct {
 // handleSubmit accepts a RunRequest, starts the job on the shared runner,
 // and returns 202 with the job id. Identical concurrent submissions
 // coalesce inside the runner onto one simulation.
+//
+// Admission control (Config.MaxInflight/QueueCap): the execution slot is
+// claimed synchronously here when one is free; otherwise the job joins
+// the bounded pending queue, and when that too is full the submission is
+// shed with a deterministic 429 + Retry-After — the decision depends only
+// on the daemon's current load, never on goroutine scheduling.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	s.evictExpired()
+	if s.maxBody > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	}
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	var rq RunRequest
 	if err := dec.Decode(&rq); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeProblem(w, http.StatusRequestEntityTooLarge, "request body too large",
+				fmt.Sprintf("body exceeds the %d-byte limit", tooBig.Limit))
+			return
+		}
 		writeProblem(w, http.StatusBadRequest, "malformed run request", err.Error())
 		return
 	}
@@ -166,36 +207,124 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Claim a slot (or a queue seat) before the job exists, so a shed
+	// submission leaves no trace.
+	slotHeld, queued := false, false
+	if s.inflight != nil {
+		select {
+		case s.inflight <- struct{}{}:
+			slotHeld = true
+		default:
+			for {
+				q := s.queued.Load()
+				if q >= s.queueCap {
+					s.jobsShed.Add(1)
+					w.Header().Set("Retry-After", "1")
+					writeProblem(w, http.StatusTooManyRequests, "server at capacity",
+						fmt.Sprintf("all %d execution slots busy and %d submissions already pending; retry later", cap(s.inflight), q))
+					return
+				}
+				if s.queued.CompareAndSwap(q, q+1) {
+					queued = true
+					break
+				}
+			}
+		}
+	}
+
 	jctx, cancel := context.WithCancel(s.ctx)
-	j := &job{req: rq, cancel: cancel, done: make(chan struct{})}
+	j := &job{req: rq, cancel: cancel, started: make(chan struct{}), done: make(chan struct{})}
 	s.mu.Lock()
 	s.seq++
 	j.id = fmt.Sprintf("r%06d", s.seq)
 	s.jobs[j.id] = j
 	s.mu.Unlock()
+	if slotHeld || !queued {
+		close(j.started)
+	}
+	if s.journal != nil {
+		s.journal.Start(j.id, rq)
+	}
 
 	go func() {
 		defer cancel()
+		if queued {
+			select {
+			case s.inflight <- struct{}{}:
+				s.queued.Add(-1)
+				close(j.started)
+			case <-jctx.Done():
+				// Cancelled (or daemon shutdown) while still queued: finish
+				// with the typed cancellation error without ever running.
+				s.queued.Add(-1)
+				close(j.started)
+				s.finishJob(j, sim.Result{}, &sim.SimError{
+					Phase: sim.PhaseCancelled, Reason: "cancelled while queued", Err: jctx.Err(),
+				})
+				return
+			}
+		}
+		if s.inflight != nil {
+			defer func() { <-s.inflight }()
+		}
 		res, err := s.runner.RunCtx(jctx, k, cfg)
-		j.mu.Lock()
-		j.res, j.err = res, err
-		j.mu.Unlock()
-		close(j.done)
+		s.finishJob(j, res, err)
 	}()
 
 	writeJSON(w, http.StatusAccepted, j.snapshot())
 }
 
-// lookupJob resolves {id} or writes a 404 problem.
+// finishJob records a job's terminal state and journals it.
+func (s *Server) finishJob(j *job, res sim.Result, err error) {
+	j.mu.Lock()
+	j.res, j.err = res, err
+	j.finishedAt = s.now()
+	j.mu.Unlock()
+	close(j.done)
+	if s.journal != nil {
+		status := jobDone
+		if err != nil {
+			status = jobFailed
+		}
+		s.journal.End(j.id, status)
+	}
+}
+
+// lookupJob resolves {id} to a live job, or writes the appropriate
+// problem: a journal-recovered id gets the typed "interrupted" status, an
+// id the daemon issued but has since TTL-evicted gets 410 gone, anything
+// else 404.
 func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) *job {
+	s.evictExpired()
 	id := r.PathValue("id")
 	s.mu.Lock()
 	j := s.jobs[id]
+	if j != nil {
+		s.mu.Unlock()
+		return j
+	}
+	rq, wasInterrupted := s.interrupted[id]
+	issued := jobSeq(id) >= 1 && jobSeq(id) <= s.seq
 	s.mu.Unlock()
-	if j == nil {
+	switch {
+	case wasInterrupted:
+		// 200 with a terminal status, mirroring a failed job: the daemon
+		// knows exactly what happened to this id, it did not lose it.
+		writeJSON(w, http.StatusOK, JobStatus{
+			ID: id, Status: jobInterrupted, Request: rq,
+			Error: &Problem{
+				Title:  "job interrupted",
+				Detail: "the daemon restarted while this job was in flight; resubmit to rerun it (completed cells are served warm from the store)",
+				Phase:  jobInterrupted,
+			},
+		})
+	case issued:
+		writeProblem(w, http.StatusGone, "job evicted",
+			fmt.Sprintf("job %q completed and was evicted after its retention window", id))
+	default:
 		writeProblem(w, http.StatusNotFound, "unknown job", fmt.Sprintf("no job %q", id))
 	}
-	return j
+	return nil
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {

@@ -26,6 +26,7 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"duplo/internal/experiments"
 	"duplo/internal/store"
@@ -41,6 +42,35 @@ type Config struct {
 	// Store is the shared on-disk result tier (nil = memory-only: results
 	// then live exactly as long as the process).
 	Store *store.Store
+
+	// MaxInflight bounds concurrently executing jobs; further submissions
+	// wait in the pending queue. 0 = unbounded (every job starts at once;
+	// the runner's worker pool is then the only brake).
+	MaxInflight int
+	// QueueCap bounds pending (accepted, not yet executing) jobs when
+	// MaxInflight is set; beyond it submissions are shed with a
+	// deterministic 429 + Retry-After. 0 = no pending queue: when every
+	// slot is busy, submissions shed immediately.
+	QueueCap int
+	// MaxSweeps bounds concurrently streaming sweeps; beyond it
+	// GET /v1/sweeps/{id} sheds with 503 + Retry-After. 0 = unbounded.
+	MaxSweeps int
+	// MaxBodyBytes bounds POST bodies (http.MaxBytesReader; oversized
+	// requests get a typed 413). 0 = unbounded.
+	MaxBodyBytes int64
+	// JobTTL evicts completed/failed jobs from the id map this long after
+	// they finish; GETs of evicted ids return a typed 410 "gone" problem.
+	// 0 = keep forever (the pre-PR-10 behavior; fine for tests, unbounded
+	// memory for a long-lived daemon).
+	JobTTL time.Duration
+	// Journal, when non-nil, records job starts/ends for crash recovery:
+	// jobs in flight when the process died are reported as typed
+	// "interrupted" problems after restart, and job numbering resumes
+	// past every id the journal has seen.
+	Journal *Journal
+	// Now is the clock used for TTL eviction (nil = time.Now; a seam for
+	// deterministic tests).
+	Now func() time.Time
 }
 
 // Server is the duploserved HTTP handler state.
@@ -50,9 +80,29 @@ type Server struct {
 	runner *experiments.Runner // shared by all /v1/runs jobs
 	ctx    context.Context     // daemon lifetime
 
-	mu   sync.Mutex
-	jobs map[string]*job
-	seq  int64
+	mu          sync.Mutex
+	jobs        map[string]*job
+	seq         int64
+	interrupted map[string]RunRequest // journal-recovered ids from before a crash
+	// healthz degraded-delta watermarks: last-reported store failure
+	// counters, so /healthz flags *new* put-errors/corruptions and
+	// recovers to ok once they stop (also under mu).
+	seenPutErrors int64
+	seenCorrupt   int64
+
+	// Admission control (nil/0 = unbounded, the test default).
+	inflight chan struct{} // MaxInflight semaphore
+	sweepSem chan struct{} // MaxSweeps semaphore
+	queued   atomic.Int64  // pending jobs (accepted, waiting for a slot)
+	queueCap int64
+	maxBody  int64
+	jobTTL   time.Duration
+	journal  *Journal
+	now      func() time.Time
+
+	jobsShed   atomic.Int64 // submissions rejected 429 (queue full)
+	sweepsShed atomic.Int64 // sweeps rejected 503
+	evicted    atomic.Int64 // jobs TTL-evicted from the id map
 
 	sweepsActive   atomic.Int64
 	sweepExecs     atomic.Int64 // cumulative simulations executed by finished sweeps
@@ -69,12 +119,53 @@ func New(cfg Config) *Server {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &Server{
-		opts:   opts,
-		store:  cfg.Store,
-		runner: experiments.NewRunner(opts),
-		ctx:    ctx,
-		jobs:   make(map[string]*job),
+	s := &Server{
+		opts:        opts,
+		store:       cfg.Store,
+		runner:      experiments.NewRunner(opts),
+		ctx:         ctx,
+		jobs:        make(map[string]*job),
+		interrupted: make(map[string]RunRequest),
+		queueCap:    int64(cfg.QueueCap),
+		maxBody:     cfg.MaxBodyBytes,
+		jobTTL:      cfg.JobTTL,
+		journal:     cfg.Journal,
+		now:         cfg.Now,
+	}
+	if s.now == nil {
+		s.now = time.Now
+	}
+	if cfg.MaxInflight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInflight)
+	}
+	if cfg.MaxSweeps > 0 {
+		s.sweepSem = make(chan struct{}, cfg.MaxSweeps)
+	}
+	if s.journal != nil {
+		s.interrupted = s.journal.Interrupted()
+		if ms := s.journal.MaxSeq(); ms > s.seq {
+			s.seq = ms
+		}
+	}
+	return s
+}
+
+// evictExpired drops completed/failed jobs whose TTL has lapsed. Called
+// lazily from the handlers that touch the job map — no background
+// goroutine to manage, and with the Now seam eviction is deterministic
+// under test. Running jobs are never evicted regardless of age.
+func (s *Server) evictExpired() {
+	if s.jobTTL <= 0 {
+		return
+	}
+	cutoff := s.now().Add(-s.jobTTL)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, j := range s.jobs {
+		if t, terminal := j.finished(); terminal && t.Before(cutoff) {
+			delete(s.jobs, id)
+			s.evicted.Add(1)
+		}
 	}
 }
 
@@ -92,9 +183,56 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+// HealthZ is the /healthz body. Status is "ok" or "degraded"; degraded
+// means the daemon still serves (jobs succeed off the memo tier and
+// re-simulation) but the disk tier is unhealthy: the circuit breaker is
+// not closed, or new put-errors/corruptions appeared since the last
+// health check. Plain GETs stay 200 either way — liveness probes must
+// not kill a pod for a sick disk — while ?strict=1 returns 503 when
+// degraded, for load balancers that should drain a degraded instance.
+type HealthZ struct {
+	Status  string   `json:"status"` // ok | degraded
+	Reasons []string `json:"reasons,omitempty"`
+	// Breaker is the store circuit breaker's snapshot (absent when the
+	// daemon runs without resilience or without a store).
+	Breaker *store.BreakerSnapshot `json:"breaker,omitempty"`
+	// InterruptedJobs counts journal-recovered jobs from before a crash.
+	InterruptedJobs int `json:"interrupted_jobs,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := HealthZ{Status: "ok"}
+	if s.store != nil {
+		c := s.store.Counters()
+		s.mu.Lock()
+		h.InterruptedJobs = len(s.interrupted)
+		if d := c.PutErrors - s.seenPutErrors; d > 0 {
+			h.Reasons = append(h.Reasons, fmt.Sprintf("%d new store put error(s)", d))
+		}
+		if d := c.Corruptions - s.seenCorrupt; d > 0 {
+			h.Reasons = append(h.Reasons, fmt.Sprintf("%d new corrupt store record(s)", d))
+		}
+		s.seenPutErrors, s.seenCorrupt = c.PutErrors, c.Corruptions
+		s.mu.Unlock()
+		if b := s.store.Breaker(); b != nil {
+			h.Breaker = b
+			if b.State != store.BreakerClosed {
+				h.Reasons = append(h.Reasons, "store circuit breaker "+b.State)
+			}
+		}
+	} else {
+		s.mu.Lock()
+		h.InterruptedJobs = len(s.interrupted)
+		s.mu.Unlock()
+	}
+	if len(h.Reasons) > 0 {
+		h.Status = "degraded"
+	}
+	status := http.StatusOK
+	if h.Status == "degraded" && r.URL.Query().Get("strict") == "1" {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
 }
 
 // StatsZ is the /statsz body: one snapshot of every counter a capacity
@@ -113,20 +251,33 @@ type StatsZ struct {
 	SweepPredicted int64 `json:"sweep_predicted"`
 
 	JobsTotal   int   `json:"jobs_total"`
+	JobsQueued  int   `json:"jobs_queued"`
 	JobsRunning int   `json:"jobs_running"`
 	JobsDone    int   `json:"jobs_done"`
 	JobsFailed  int   `json:"jobs_failed"`
 	SweepsOpen  int64 `json:"sweeps_open"`
 
+	// Admission-control and lifecycle accounting (DESIGN.md §12):
+	// submissions shed 429, sweeps shed 503, completed jobs TTL-evicted
+	// from the id map, and journal-recovered interrupted jobs.
+	JobsShed        int64 `json:"jobs_shed"`
+	SweepsShed      int64 `json:"sweeps_shed"`
+	JobsEvicted     int64 `json:"jobs_evicted"`
+	JobsInterrupted int   `json:"jobs_interrupted"`
+
 	// Store holds the disk tier's counters; absent when the daemon runs
 	// memory-only.
 	Store *store.Counters `json:"store,omitempty"`
+	// Breaker is the store circuit breaker's state (absent unless the
+	// daemon enabled store resilience).
+	Breaker *store.BreakerSnapshot `json:"breaker,omitempty"`
 	// Predictor reports the analytical fast path's mode and the installed
 	// calibration's per-family fit quality (DESIGN.md §9).
 	Predictor *PredictorStatsZ `json:"predictor"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	s.evictExpired()
 	st := StatsZ{
 		Workers:        s.runner.Workers(),
 		Execs:          s.runner.Execs(),
@@ -134,12 +285,18 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 		SweepExecs:     s.sweepExecs.Load(),
 		SweepPredicted: s.sweepPredicted.Load(),
 		SweepsOpen:     s.sweepsActive.Load(),
+		JobsShed:       s.jobsShed.Load(),
+		SweepsShed:     s.sweepsShed.Load(),
+		JobsEvicted:    s.evicted.Load(),
 		Predictor:      s.predictorStatsZ(),
 	}
 	s.mu.Lock()
 	st.JobsTotal = len(s.jobs)
+	st.JobsInterrupted = len(s.interrupted)
 	for _, j := range s.jobs {
 		switch j.snapshot().Status {
+		case jobQueued:
+			st.JobsQueued++
 		case jobRunning:
 			st.JobsRunning++
 		case jobDone:
@@ -152,6 +309,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	if s.store != nil {
 		c := s.store.Counters()
 		st.Store = &c
+		st.Breaker = s.store.Breaker()
 	}
 	writeJSON(w, http.StatusOK, st)
 }

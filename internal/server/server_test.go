@@ -80,7 +80,7 @@ func pollJob(t *testing.T, base, id string, deadline time.Duration) JobStatus {
 		if code := getJSON(t, base+"/v1/runs/"+id, &js); code != http.StatusOK {
 			t.Fatalf("poll %s: status %d", id, code)
 		}
-		if js.Status != jobRunning {
+		if js.Status != jobRunning && js.Status != jobQueued {
 			return js
 		}
 		if time.Now().After(until) {

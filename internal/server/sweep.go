@@ -3,13 +3,20 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"duplo/internal/experiments"
 	"duplo/internal/report"
 )
+
+// sweepWriteWindow is the per-event write deadline a streaming sweep
+// slides forward: the stream may run arbitrarily long, but a client that
+// absorbs nothing for this long is cut off.
+const sweepWriteWindow = time.Minute
 
 // SweepEvent is one NDJSON line of a GET /v1/sweeps/{id} response. The
 // stream is: one "start", interleaved "progress" lines as cells finish,
@@ -60,6 +67,22 @@ func (s *Server) handleSweepList(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 
+	// Sweep admission (Config.MaxSweeps): a sweep holds a worker-pool's
+	// worth of CPU for minutes, so beyond the cap we shed deterministically
+	// instead of thrashing every stream at once.
+	if s.sweepSem != nil {
+		select {
+		case s.sweepSem <- struct{}{}:
+			defer func() { <-s.sweepSem }()
+		default:
+			s.sweepsShed.Add(1)
+			w.Header().Set("Retry-After", "5")
+			writeProblem(w, http.StatusServiceUnavailable, "too many sweeps",
+				fmt.Sprintf("all %d sweep slots busy; retry later", cap(s.sweepSem)))
+			return
+		}
+	}
+
 	// The sweep dies with the client connection or the daemon, whichever
 	// ends first.
 	ctx, cancel := context.WithCancel(r.Context())
@@ -69,6 +92,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	var emitMu sync.Mutex
 	flusher, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
 	headerWritten := false
 	emit := func(ev SweepEvent) {
 		emitMu.Lock()
@@ -78,7 +102,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			w.WriteHeader(http.StatusOK)
 			headerWritten = true
 		}
-		json.NewEncoder(w).Encode(ev) //nolint:errcheck // stream best-effort
+		// A sweep legitimately outlives any fixed http.Server.WriteTimeout;
+		// what a hardened daemon bounds is *silence*. Sliding the deadline
+		// at every event keeps a live stream exempt while a stalled client
+		// still times out one window after the last successful write.
+		rc.SetWriteDeadline(time.Now().Add(sweepWriteWindow)) //nolint:errcheck // best-effort: not every ResponseWriter supports deadlines
+		json.NewEncoder(w).Encode(ev)                         //nolint:errcheck // stream best-effort
 		if flusher != nil {
 			flusher.Flush()
 		}

@@ -16,9 +16,13 @@ import (
 type ClassMetrics struct {
 	Name string `json:"name"`
 
-	Offered   int64 `json:"offered"`
-	Admitted  int64 `json:"admitted"`
-	Rejected  int64 `json:"rejected"`
+	Offered  int64 `json:"offered"`
+	Admitted int64 `json:"admitted"`
+	Rejected int64 `json:"rejected"`
+	// Retried counts backed-off re-offers after queue-full sheds
+	// (Config.RetryAfterNanos). Offered == Admitted + Rejected regardless:
+	// a retry re-offers the same request, it is not new traffic.
+	Retried   int64 `json:"retried"`
 	Completed int64 `json:"completed"`
 	// Good counts completions within the class SLO (all of them when the
 	// SLO is 0).
@@ -73,6 +77,7 @@ type Metrics struct {
 	Offered   int64 `json:"offered"`
 	Admitted  int64 `json:"admitted"`
 	Rejected  int64 `json:"rejected"`
+	Retried   int64 `json:"retried"`
 	Completed int64 `json:"completed"`
 	Good      int64 `json:"good"`
 
@@ -134,6 +139,7 @@ func (m *Metrics) finish(makespan int64) {
 		m.Offered += c.Offered
 		m.Admitted += c.Admitted
 		m.Rejected += c.Rejected
+		m.Retried += c.Retried
 		m.Completed += c.Completed
 		m.Good += c.Good
 		if len(c.latencies) > 0 {
@@ -235,7 +241,7 @@ func (m *Metrics) WriteTimeline(w io.Writer) error {
 // Summary renders the cluster totals as one deterministic line (the
 // determinism tests compare these byte-for-byte).
 func (m *Metrics) Summary() string {
-	return fmt.Sprintf("chips=%d policy=%s seed=%d offered=%d admitted=%d rejected=%d completed=%d good=%d goodput=%.3f/s util=%.4f events=%d batches=%d batched=%d",
-		m.Chips, m.Policy, m.Seed, m.Offered, m.Admitted, m.Rejected, m.Completed, m.Good,
+	return fmt.Sprintf("chips=%d policy=%s seed=%d offered=%d admitted=%d rejected=%d retried=%d completed=%d good=%d goodput=%.3f/s util=%.4f events=%d batches=%d batched=%d",
+		m.Chips, m.Policy, m.Seed, m.Offered, m.Admitted, m.Rejected, m.Retried, m.Completed, m.Good,
 		m.GoodputPerSec, m.MeanUtilization, m.Events, m.Batches, m.BatchedRequests)
 }

@@ -32,9 +32,41 @@ import (
 	"os"
 	"path/filepath"
 	"sync/atomic"
+	"time"
 
 	"duplo/internal/sim"
 )
+
+// FaultInjector is the deterministic fault-injection seam (DESIGN.md
+// §12): internal/fault.Injector implements it, and it is nil — every
+// check compiled to one pointer test — on the production path.
+type FaultInjector interface {
+	// ReadFault, when non-nil, fails the lookup with a transient I/O
+	// error before the disk is touched (the record stays intact).
+	ReadFault(key string) error
+	// WriteFault, when non-nil, fails the persist before bytes land.
+	WriteFault(key string) error
+	// MangleRead corrupts a successfully read record's raw bytes (the
+	// checksum must catch it; the mangled copy must never be served).
+	MangleRead(raw []byte) ([]byte, bool)
+	// IODelay adds latency to a disk operation (0 = none).
+	IODelay() time.Duration
+}
+
+// OpError is the typed store failure: which operation failed, on which
+// key, and why. Transient errors (I/O faults the resilience layer may
+// retry) and permanent ones (a read-only directory) share the shape;
+// Unwrap exposes the cause for errors.Is classification.
+type OpError struct {
+	Op  string // "get" | "put"
+	Key string
+	Err error
+}
+
+func (e *OpError) Error() string { return fmt.Sprintf("store: %s %q: %v", e.Op, e.Key, e.Err) }
+
+// Unwrap exposes the underlying cause.
+func (e *OpError) Unwrap() error { return e.Err }
 
 // FormatVersion is bumped whenever the persisted encoding changes
 // incompatibly (a field changes meaning, the checksum scheme changes, …).
@@ -85,6 +117,11 @@ type Counters struct {
 	// PutErrors counts failed persists (the simulation result is still
 	// returned to the caller; the store is best-effort on the write side).
 	PutErrors int64 `json:"put_errors"`
+	// ReadErrors counts transient lookup failures — I/O errors other than
+	// "absent" (and injected read faults). The record is left on disk:
+	// unlike corruption, a transient error says nothing about the bytes,
+	// and the resilience layer retries instead of destroying warmth.
+	ReadErrors int64 `json:"read_errors"`
 	// Corruptions counts records that failed envelope decode, key match,
 	// checksum, or payload decode; each was removed so the slot heals on
 	// the re-simulation's Put.
@@ -100,7 +137,15 @@ type Counters struct {
 type Store struct {
 	dir string
 
-	hits, misses, puts, putErrors, corruptions, versionSkips atomic.Int64
+	// faults is the fault-injection seam; nil in production. Set before
+	// the store is shared across goroutines (SetFaults is not synchronized
+	// against in-flight operations).
+	faults FaultInjector
+	// res is the optional retry + circuit-breaker layer (EnableResilience);
+	// nil keeps the raw single-attempt semantics.
+	res *resilience
+
+	hits, misses, puts, putErrors, readErrors, corruptions, versionSkips atomic.Int64
 }
 
 // Open roots a store at dir, creating the directory if needed.
@@ -125,53 +170,106 @@ func (s *Store) Path(key string) string {
 	return filepath.Join(s.dir, h[:2], h[2:]+".json")
 }
 
-// Get looks key up. ok is false on any miss — absent, version-skewed, or
+// SetFaults installs the fault-injection hooks (nil = none). Install
+// before sharing the store across goroutines.
+func (s *Store) SetFaults(h FaultInjector) { s.faults = h }
+
+// Get looks key up. ok is false on any miss — absent, version-skewed,
 // corrupt (counted separately; a corrupt file is removed so the slot heals
-// on the next Put). A false return always means "re-simulate"; Get never
-// returns a record it could not fully verify.
+// on the next Put), or a transient read error. A false return always means
+// "re-simulate"; Get never returns a record it could not fully verify.
+// With resilience enabled (EnableResilience) transient errors are retried
+// and an open breaker degrades to a clean miss.
 func (s *Store) Get(key string) (Record, bool) {
+	rec, ok, _ := s.Lookup(key)
+	return rec, ok
+}
+
+// Lookup is Get with the transient-failure channel exposed: a non-nil
+// error means the disk op itself failed (I/O error, injected fault) and
+// the record — if any — is still intact on disk, so the caller may retry.
+// ok is false whenever err is non-nil. With resilience enabled the retry
+// happens internally and err is always nil (an exhausted retry budget or
+// an open breaker degrade to a miss, tallied in the breaker snapshot).
+func (s *Store) Lookup(key string) (Record, bool, error) {
+	if s.res != nil {
+		return s.res.lookup(key)
+	}
+	return s.lookup(key)
+}
+
+// lookup is the raw single-attempt lookup.
+func (s *Store) lookup(key string) (Record, bool, error) {
 	path := s.Path(key)
+	if s.faults != nil {
+		if d := s.faults.IODelay(); d > 0 {
+			time.Sleep(d)
+		}
+		if err := s.faults.ReadFault(key); err != nil {
+			s.readErrors.Add(1)
+			s.misses.Add(1)
+			return Record{}, false, &OpError{Op: "get", Key: key, Err: err}
+		}
+	}
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		if !errors.Is(err, fs.ErrNotExist) {
-			// Unreadable is indistinguishable from damaged for our purposes.
-			s.corrupt(path)
+			// Transient: the bytes were never seen, so this says nothing
+			// about the record. Keep the file; the caller may retry.
+			s.readErrors.Add(1)
+			s.misses.Add(1)
+			return Record{}, false, &OpError{Op: "get", Key: key, Err: err}
 		}
 		s.misses.Add(1)
-		return Record{}, false
+		return Record{}, false, nil
+	}
+	if s.faults != nil {
+		if m, ok := s.faults.MangleRead(raw); ok {
+			raw = m
+		}
 	}
 	var env envelope
 	if err := json.Unmarshal(raw, &env); err != nil {
 		s.corrupt(path)
 		s.misses.Add(1)
-		return Record{}, false
+		return Record{}, false, nil
 	}
 	if env.Version != FormatVersion {
 		s.versionSkips.Add(1)
 		s.misses.Add(1)
-		return Record{}, false
+		return Record{}, false, nil
 	}
 	if env.Key != key || env.Sum != payloadSum(env.Payload) {
 		s.corrupt(path)
 		s.misses.Add(1)
-		return Record{}, false
+		return Record{}, false, nil
 	}
 	var rec Record
 	if err := json.Unmarshal(env.Payload, &rec); err != nil {
 		s.corrupt(path)
 		s.misses.Add(1)
-		return Record{}, false
+		return Record{}, false, nil
 	}
 	s.hits.Add(1)
-	return rec, true
+	return rec, true, nil
 }
 
 // Put persists rec under key atomically: the record is written to a temp
 // file in the destination directory and renamed into place, so a
 // concurrent reader sees the old record or the new one, never a torn
-// write. Errors are also tallied in Counters().PutErrors so best-effort
-// callers can drop the return value without losing observability.
+// write. Failures return a typed *OpError and are tallied in
+// Counters().PutErrors so best-effort callers can drop the return value
+// without losing observability. With resilience enabled transient errors
+// are retried and an open breaker skips the write (ErrDegraded).
 func (s *Store) Put(key string, rec Record) error {
+	if s.res != nil {
+		return s.res.put(key, rec)
+	}
+	return s.putCounted(key, rec)
+}
+
+// putCounted is the raw single-attempt persist plus counter accounting.
+func (s *Store) putCounted(key string, rec Record) error {
 	err := s.put(key, rec)
 	if err != nil {
 		s.putErrors.Add(1)
@@ -182,23 +280,31 @@ func (s *Store) Put(key string, rec Record) error {
 }
 
 func (s *Store) put(key string, rec Record) error {
+	if s.faults != nil {
+		if d := s.faults.IODelay(); d > 0 {
+			time.Sleep(d)
+		}
+		if err := s.faults.WriteFault(key); err != nil {
+			return &OpError{Op: "put", Key: key, Err: err}
+		}
+	}
 	payload, err := json.Marshal(rec)
 	if err != nil {
-		return fmt.Errorf("store: encode: %w", err)
+		return &OpError{Op: "put", Key: key, Err: fmt.Errorf("encode: %w", err)}
 	}
 	data, err := json.Marshal(envelope{
 		Version: FormatVersion, Key: key, Sum: payloadSum(payload), Payload: payload,
 	})
 	if err != nil {
-		return fmt.Errorf("store: encode: %w", err)
+		return &OpError{Op: "put", Key: key, Err: fmt.Errorf("encode: %w", err)}
 	}
 	path := s.Path(key)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return fmt.Errorf("store: %w", err)
+		return &OpError{Op: "put", Key: key, Err: err}
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".put-*")
 	if err != nil {
-		return fmt.Errorf("store: %w", err)
+		return &OpError{Op: "put", Key: key, Err: err}
 	}
 	_, werr := tmp.Write(append(data, '\n'))
 	cerr := tmp.Close()
@@ -210,7 +316,7 @@ func (s *Store) put(key string, rec Record) error {
 	}
 	if werr != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("store: %w", werr)
+		return &OpError{Op: "put", Key: key, Err: werr}
 	}
 	return nil
 }
@@ -223,6 +329,7 @@ func (s *Store) Counters() Counters {
 		Misses:       s.misses.Load(),
 		Puts:         s.puts.Load(),
 		PutErrors:    s.putErrors.Load(),
+		ReadErrors:   s.readErrors.Load(),
 		Corruptions:  s.corruptions.Load(),
 		VersionSkips: s.versionSkips.Load(),
 	}
